@@ -1,0 +1,244 @@
+(* adgc_sim: command-line driver for the simulator.
+
+   Examples:
+     adgc_sim run --topology fig3 --time 50000
+     adgc_sim run --topology ring --procs 12 --loss 0.1 --detector dcda
+     adgc_sim run --topology random --objects 200 --churn 1000 --trace dcda
+     adgc_sim trace --topology fig4 *)
+
+module Sim = Adgc.Sim
+module Config = Adgc.Config
+module Cluster = Adgc_rt.Cluster
+module Network = Adgc_rt.Network
+module Stats = Adgc_util.Stats
+module Trace = Adgc_util.Trace
+open Adgc_workload
+
+type topology = Fig3 | Fig4 | Fig5 | Ring | Hybrid | Random | Star | Lattice | Web | Chain
+
+let topology_conv =
+  let parse = function
+    | "fig3" -> Ok Fig3
+    | "fig4" -> Ok Fig4
+    | "fig5" -> Ok Fig5
+    | "ring" -> Ok Ring
+    | "hybrid" -> Ok Hybrid
+    | "random" -> Ok Random
+    | "star" -> Ok Star
+    | "lattice" -> Ok Lattice
+    | "web" -> Ok Web
+    | "chain" -> Ok Chain
+    | s -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+  in
+  let print ppf t =
+    Format.pp_print_string ppf
+      (match t with
+      | Fig3 -> "fig3"
+      | Fig4 -> "fig4"
+      | Fig5 -> "fig5"
+      | Ring -> "ring"
+      | Hybrid -> "hybrid"
+      | Random -> "random"
+      | Star -> "star"
+      | Lattice -> "lattice"
+      | Web -> "web"
+      | Chain -> "chain")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let detector_conv =
+  let parse = function
+    | "dcda" -> Ok Config.Dcda
+    | "backtrack" -> Ok Config.Backtrack
+    | "hughes" -> Ok Config.Hughes_gc
+    | "none" -> Ok Config.No_detector
+    | s -> Error (`Msg (Printf.sprintf "unknown detector %S" s))
+  in
+  let print ppf d =
+    Format.pp_print_string ppf
+      (match d with
+      | Config.Dcda -> "dcda"
+      | Config.Backtrack -> "backtrack"
+      | Config.Hughes_gc -> "hughes"
+      | Config.No_detector -> "none")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let min_procs = function
+  | Fig3 -> 4
+  | Fig4 -> 6
+  | Fig5 -> 5
+  | Ring -> 2
+  | Hybrid -> 3
+  | Random -> 2
+  | Star -> 4
+  | Lattice -> 3
+  | Web -> 2
+  | Chain -> 2
+
+let build_topology topology cluster ~seed ~objects ~edges =
+  match topology with
+  | Fig3 ->
+      let built = Topology.fig3 cluster in
+      (* The figure's cycle is garbage once A's root goes. *)
+      Adgc_rt.Mutator.remove_root cluster (Topology.obj built "A");
+      built
+  | Fig4 -> Topology.fig4 cluster
+  | Fig5 ->
+      let built = Topology.fig5 cluster in
+      Adgc_rt.Mutator.remove_root cluster (Topology.obj built "A");
+      built
+  | Ring ->
+      Topology.ring ~objs_per_proc:2 cluster
+        ~procs:(List.init (Cluster.n_procs cluster) (fun i -> i))
+  | Hybrid -> Topology.hybrid cluster
+  | Random ->
+      Topology.random cluster
+        ~rng:(Adgc_util.Rng.create (seed + 1))
+        ~objects ~edges ~remote_prob:0.35 ~root_prob:0.15
+  | Star -> Topology.star_cycles ~arms:(Cluster.n_procs cluster - 1) cluster
+  | Lattice -> Topology.lattice cluster ~rows:3 ~cols:(Cluster.n_procs cluster)
+  | Web -> Topology.web cluster ~rng:(Adgc_util.Rng.create (seed + 1))
+  | Chain ->
+      Topology.chain_into_ring cluster
+        ~procs:(List.init (Cluster.n_procs cluster) (fun i -> i))
+
+let run_cmd topology procs seed loss detector time churn_steps objects edges trace_topics
+    crash_list inspect quiet =
+  let n_procs = Int.max procs (min_procs topology) in
+  let config = Config.quick ~seed ~n_procs () in
+  config.Config.net.Network.drop_prob <- loss;
+  let config = { config with Config.detector } in
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+  let checker = Metrics.install_safety_checker cluster in
+  let _built = build_topology topology cluster ~seed ~objects ~edges in
+  if churn_steps > 0 then begin
+    let churn = Churn.create ~cluster ~rng:(Adgc_util.Rng.create (seed + 2)) () in
+    Churn.run churn ~steps:churn_steps ~every:29
+  end;
+  (* Crash the listed processes one third into the run. *)
+  List.iter
+    (fun i ->
+      Adgc_rt.Scheduler.schedule_after (Cluster.sched cluster) ~delay:(time / 3) (fun () ->
+          Cluster.crash cluster i))
+    crash_list;
+  let initial = Metrics.sample cluster in
+  Sim.start sim;
+  Sim.run_for sim time;
+  let final = Metrics.sample cluster in
+  if inspect then Format.printf "@[<v>%a@]@." (Inspect.pp_cluster ?names:None) cluster;
+  if not quiet then begin
+    Format.printf "initial: %a@." Metrics.pp_sample initial;
+    Format.printf "final  : %a@." Metrics.pp_sample final;
+    List.iter (fun r -> Format.printf "cycle  : %a@." Adgc_dcda.Report.pp r) (Sim.reports sim);
+    let stats = Sim.stats sim in
+    let interesting prefix (k, _) =
+      String.length k >= String.length prefix && String.sub k 0 (String.length prefix) = prefix
+    in
+    let print_group prefix =
+      List.iter
+        (fun (k, v) -> Format.printf "  %-40s %d@." k v)
+        (List.filter (interesting prefix) (Stats.counters stats))
+    in
+    Format.printf "-- collector counters --@.";
+    List.iter print_group [ "lgc."; "dgc."; "reflist."; "dcda."; "bt."; "rmi."; "net.msg" ]
+  end;
+  List.iter
+    (fun topic ->
+      Format.printf "-- trace %s --@." topic;
+      List.iter
+        (fun (e : Trace.event) -> Format.printf "%a@." Trace.pp_event e)
+        (Trace.by_topic (Sim.trace sim) topic))
+    trace_topics;
+  match Metrics.violations checker with
+  | [] ->
+      if final.Metrics.garbage = 0 then begin
+        if not quiet then print_endline "OK: no garbage left, no safety violations";
+        0
+      end
+      else begin
+        Printf.printf "NOTE: %d garbage objects not yet reclaimed (increase --time?)\n"
+          final.Metrics.garbage;
+        0
+      end
+  | violations ->
+      Printf.eprintf "SAFETY VIOLATIONS: %d live objects reclaimed!\n" (List.length violations);
+      1
+
+let trace_cmd topology seed =
+  let n_procs = min_procs topology in
+  let config = Config.quick ~seed ~n_procs () in
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+  let built = build_topology topology cluster ~seed ~objects:0 ~edges:0 in
+  (* Let the candidates age past the idle threshold. *)
+  Sim.run_for sim 1_000;
+  Sim.snapshot_all sim;
+  let started = Sim.scan_all sim in
+  Format.printf "detections initiated by one scan: %d@." started;
+  ignore (Cluster.drain cluster : int);
+  List.iter
+    (fun (e : Trace.event) -> Format.printf "%a@." Trace.pp_event e)
+    (Trace.by_topic (Sim.trace sim) "dcda");
+  List.iter
+    (fun (r : Adgc_dcda.Report.t) ->
+      Format.printf "@.proven cycle (%d refs):@." (List.length r.Adgc_dcda.Report.proven);
+      List.iter
+        (fun key -> Format.printf "  %a@." (Names.pp_ref built.Topology.names) key)
+        r.Adgc_dcda.Report.proven)
+    (Sim.reports sim);
+  0
+
+open Cmdliner
+
+let topology_arg =
+  Arg.(value & opt topology_conv Ring & info [ "topology"; "t" ] ~doc:"Topology: fig3, fig4, fig5, ring, hybrid, random, star, lattice, web or chain.")
+
+let procs_arg = Arg.(value & opt int 4 & info [ "procs"; "p" ] ~doc:"Number of processes.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let loss_arg = Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"Message drop probability.")
+
+let detector_arg =
+  Arg.(value & opt detector_conv Config.Dcda & info [ "detector"; "d" ] ~doc:"dcda, backtrack, hughes or none.")
+
+let time_arg = Arg.(value & opt int 100_000 & info [ "time" ] ~doc:"Simulated ticks to run.")
+
+let churn_arg = Arg.(value & opt int 0 & info [ "churn" ] ~doc:"Random mutator actions to schedule.")
+
+let objects_arg = Arg.(value & opt int 100 & info [ "objects" ] ~doc:"Objects (random topology).")
+
+let edges_arg = Arg.(value & opt int 200 & info [ "edges" ] ~doc:"Edges (random topology).")
+
+let trace_arg =
+  Arg.(value & opt_all string [] & info [ "trace" ] ~doc:"Print a trace topic (dcda, reflist, lgc, snapshot, bt). Repeatable.")
+
+let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Only report problems.")
+
+let crash_arg =
+  Arg.(value & opt_all int [] & info [ "crash" ] ~doc:"Crash process $(docv) one third into the run. Repeatable." ~docv:"PROC")
+
+let inspect_arg =
+  Arg.(value & flag & info [ "inspect" ] ~doc:"Dump the full cluster state at the end.")
+
+let run_term =
+  Term.(
+    const run_cmd $ topology_arg $ procs_arg $ seed_arg $ loss_arg $ detector_arg $ time_arg
+    $ churn_arg $ objects_arg $ edges_arg $ trace_arg $ crash_arg $ inspect_arg $ quiet_arg)
+
+let run_cmd_info = Cmd.info "run" ~doc:"Run a scenario end to end and report."
+
+let trace_term = Term.(const trace_cmd $ topology_arg $ seed_arg)
+
+let trace_cmd_info =
+  Cmd.info "trace" ~doc:"Run one detection on a figure topology and print the CDM trace."
+
+let main =
+  Cmd.group
+    (Cmd.info "adgc_sim" ~version:"1.0.0"
+       ~doc:"Asynchronous complete distributed garbage collection simulator.")
+    [ Cmd.v run_cmd_info run_term; Cmd.v trace_cmd_info trace_term ]
+
+let () = exit (Cmd.eval' main)

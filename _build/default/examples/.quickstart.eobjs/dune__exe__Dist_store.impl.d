@@ -1,0 +1,1 @@
+examples/dist_store.ml: Adgc Adgc_rt Adgc_util Adgc_workload Churn List Metrics Printf Topology

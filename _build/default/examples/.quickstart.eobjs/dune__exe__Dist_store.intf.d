@@ -1,0 +1,1 @@
+examples/dist_store.mli:

@@ -1,0 +1,1 @@
+examples/mobile_agents.ml: Adgc Adgc_algebra Adgc_rt Adgc_util Adgc_workload Array List Metrics Oid Printf String

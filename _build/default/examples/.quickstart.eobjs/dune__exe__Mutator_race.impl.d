@@ -1,0 +1,1 @@
+examples/mutator_race.ml: Adgc Adgc_dcda Adgc_rt Adgc_snapshot Adgc_util Adgc_workload List Printf Topology

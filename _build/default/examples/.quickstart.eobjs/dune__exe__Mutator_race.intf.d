@@ -1,0 +1,1 @@
+examples/mutator_race.mli:

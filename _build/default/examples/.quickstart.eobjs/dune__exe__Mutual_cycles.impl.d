@@ -1,0 +1,1 @@
+examples/mutual_cycles.ml: Adgc Adgc_dcda Adgc_rt Adgc_util Adgc_workload Format List Names Printf Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adgc Adgc_dcda Adgc_rt Adgc_util Format List Printf

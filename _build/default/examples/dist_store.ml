@@ -1,0 +1,78 @@
+(* A distributed object store under churn — the motivating workload of
+   the paper's introduction: long-lived distributed object systems
+   accumulate distributed garbage (much of it cyclic) and degrade
+   unless a complete DGC reclaims it.
+
+   Eight processes run a replicated store: clients create objects,
+   link them across processes, invoke remote entries and drop roots.
+   We run the same seeded workload twice — once with only the acyclic
+   reference-listing DGC and once with the DCDA enabled — and print
+   the garbage timeline of both.  The acyclic-only run plateaus with
+   unreclaimable cyclic garbage; the DCDA run returns to (near) zero.
+
+   Run with: dune exec examples/dist_store.exe *)
+
+module Sim = Adgc.Sim
+module Config = Adgc.Config
+module Cluster = Adgc_rt.Cluster
+module Stats = Adgc_util.Stats
+open Adgc_workload
+
+let procs = 8
+
+let horizon = 120_000
+
+let sample_period = 10_000
+
+let run_store ~detector =
+  let config = Config.quick ~seed:2025 ~n_procs:procs () in
+  let config = { config with Config.detector } in
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+  (* The store's service mesh: a rooted ring of registry objects, plus
+     two client-made cycles that will become garbage mid-run. *)
+  let _mesh = Topology.rooted_ring ~objs_per_proc:2 cluster ~procs:[ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let doomed1 = Topology.ring ~objs_per_proc:2 cluster ~procs:[ 0; 2; 4; 6 ] in
+  let doomed2 = Topology.fig4 cluster in
+  ignore doomed1;
+  ignore doomed2;
+  let churn = Churn.create ~cluster ~rng:(Adgc_util.Rng.create 99) () in
+  Churn.run churn ~steps:2_000 ~every:40;
+  let sampler = Metrics.sample_every cluster ~period:sample_period in
+  Sim.start sim;
+  Sim.run_for sim horizon;
+  Metrics.stop_sampling sampler;
+  (sim, Metrics.samples sampler)
+
+let () =
+  Printf.printf "Distributed object store, %d processes, %d churn actions, horizon %d ticks\n\n"
+    procs 2_000 horizon;
+  let acyclic_sim, acyclic = run_store ~detector:Config.No_detector in
+  let dcda_sim, dcda = run_store ~detector:Config.Dcda in
+  let rows =
+    List.map2
+      (fun (a : Metrics.sample) (d : Metrics.sample) ->
+        [
+          string_of_int a.Metrics.time;
+          string_of_int a.Metrics.objects;
+          string_of_int a.Metrics.garbage;
+          string_of_int d.Metrics.objects;
+          string_of_int d.Metrics.garbage;
+        ])
+      acyclic dcda
+  in
+  Adgc_util.Table.print
+    ~header:[ "time"; "acyclic objs"; "acyclic garbage"; "DCDA objs"; "DCDA garbage" ]
+    ~rows ();
+  let leak (sim : Sim.t) = Sim.garbage_count sim in
+  Printf.printf "\nfinal garbage: acyclic-only = %d, with DCDA = %d\n" (leak acyclic_sim)
+    (leak dcda_sim);
+  let stats = Sim.stats dcda_sim in
+  Printf.printf "DCDA work: %d detections, %d cycles proven, %d CDMs (%d aborted safely)\n"
+    (Stats.get stats "dcda.detections_started")
+    (Stats.get stats "dcda.cycles_found")
+    (Stats.get stats "dcda.cdm_sent")
+    (Stats.get stats "dcda.abort.ic_mismatch_delivery"
+    + Stats.get stats "dcda.abort.ic_mismatch_matching"
+    + Stats.get stats "dcda.abort.locally_reachable"
+    + Stats.get stats "dcda.abort.missing_scion")

@@ -1,0 +1,151 @@
+(* Mobile agents — the workload of OBIWAN, the paper's second
+   implementation platform.
+
+   Agents hop between processes: each hop is a real RMI to the next
+   process's (rooted) agency, whose behaviour allocates the agent's
+   next incarnation there; the previous agency then drops its
+   reference.  Every few hops an agent forks a short-lived clone that
+   ends up in a mutual reference with the abandoned incarnation — a
+   cross-process 2-cycle of garbage that reference listing alone can
+   never reclaim.  The DCDA cleans up behind the agents while they
+   keep moving.
+
+   Run with: dune exec examples/mobile_agents.exe *)
+
+module Sim = Adgc.Sim
+module Config = Adgc.Config
+module Cluster = Adgc_rt.Cluster
+module Mutator = Adgc_rt.Mutator
+module Heap = Adgc_rt.Heap
+module Scheduler = Adgc_rt.Scheduler
+module Stats = Adgc_util.Stats
+open Adgc_algebra
+open Adgc_workload
+
+let n_procs = 6
+
+let n_agents = 4
+
+let hops_per_agent = 12
+
+type agent = {
+  name : string;
+  mutable at : int; (* current process *)
+  mutable head : Oid.t; (* current incarnation *)
+  mutable hops : int;
+  rng : Adgc_util.Rng.t;
+}
+
+let () =
+  let config = Config.quick ~seed:31 ~n_procs () in
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+
+  (* One rooted agency per process. *)
+  let agencies =
+    Array.init n_procs (fun i ->
+        let agency = Mutator.alloc cluster ~proc:i () in
+        Mutator.add_root cluster agency;
+        agency)
+  in
+  (* Agencies know each other (the service mesh). *)
+  for i = 0 to n_procs - 1 do
+    for j = 0 to n_procs - 1 do
+      if i <> j then Mutator.wire_remote cluster ~holder:agencies.(i) ~target:agencies.(j)
+    done
+  done;
+
+  (* Agents start at their home agency. *)
+  let agents =
+    List.init n_agents (fun k ->
+        let at = k mod n_procs in
+        let incarnation = Mutator.alloc cluster ~proc:at () in
+        Mutator.link cluster ~from_:agencies.(at) ~to_:incarnation;
+        {
+          name = Printf.sprintf "agent%d" k;
+          at;
+          head = incarnation.Heap.oid;
+          hops = 0;
+          rng = Adgc_util.Rng.create (100 + k);
+        })
+  in
+
+  (* One hop: RMI to the destination agency; its behaviour allocates
+     the next incarnation (and, every third hop, a clone that stays
+     mutually linked with the abandoned one — cyclic garbage). *)
+  let hop (a : agent) =
+    let dst = (a.at + 1 + Adgc_util.Rng.int a.rng (n_procs - 1)) mod n_procs in
+    let leave_clone = a.hops mod 3 = 2 in
+    let old_head = a.head and old_at = a.at in
+    let behavior _rt (p : Adgc_rt.Process.t) ~target ~args =
+      match (Heap.get p.Adgc_rt.Process.heap target, args) with
+      | Some agency_obj, old_incarnation :: _ ->
+          let next = Heap.alloc p.Adgc_rt.Process.heap in
+          ignore (Heap.add_ref p.Adgc_rt.Process.heap agency_obj next.Heap.oid : int);
+          if leave_clone then begin
+            (* The clone grabs the old incarnation; the caller will
+               close the cycle from the other side. *)
+            let clone = Heap.alloc p.Adgc_rt.Process.heap in
+            ignore (Heap.add_ref p.Adgc_rt.Process.heap clone old_incarnation : int);
+            [ next.Heap.oid; clone.Heap.oid ]
+          end
+          else [ next.Heap.oid ]
+      | _, _ -> []
+    in
+    let on_reply results =
+      match results with
+      | next :: rest ->
+          a.head <- next;
+          a.at <- dst;
+          a.hops <- a.hops + 1;
+          let home = Cluster.proc cluster old_at in
+          (match (rest, Heap.get home.Adgc_rt.Process.heap old_head) with
+          | clone :: _, Some old_obj ->
+              (* Close the mutual cycle: abandoned incarnation <-> clone. *)
+              ignore (Heap.add_ref home.Adgc_rt.Process.heap old_obj clone : int)
+          | _, _ -> ());
+          (* The old agency lets go of the abandoned incarnation. *)
+          (match Heap.get home.Adgc_rt.Process.heap old_head with
+          | Some old_obj -> Mutator.unlink cluster ~from_:agencies.(old_at) ~to_:old_obj
+          | None -> ())
+      | [] -> ()
+    in
+    Mutator.call cluster ~src:a.at ~target:agencies.(dst).Heap.oid ~args:[ a.head ] ~behavior
+      ~on_reply ()
+  in
+
+  (* Schedule the journeys. *)
+  List.iteri
+    (fun k a ->
+      for h = 0 to hops_per_agent - 1 do
+        Scheduler.schedule_after (Cluster.sched cluster)
+          ~delay:(500 + (h * 900) + (k * 137))
+          (fun () -> if a.hops = h then hop a)
+      done)
+    agents;
+
+  let sampler = Metrics.sample_every cluster ~period:2_000 in
+  Sim.start sim;
+  Sim.run_for sim (hops_per_agent * 1_000) ;
+  Printf.printf "journeys done: %s\n\n"
+    (String.concat ", "
+       (List.map (fun a -> Printf.sprintf "%s %d hops, now at P%d" a.name a.hops a.at) agents));
+
+  (* Let the collectors catch up with the trails. *)
+  let clean = Sim.run_until_clean ~step:1_000 ~max_time:400_000 sim in
+  Metrics.stop_sampling sampler;
+
+  print_endline "garbage timeline (trails accumulate, then the DCDA mops up):";
+  List.iter
+    (fun (s : Metrics.sample) ->
+      Printf.printf "  t=%-7d objects=%-3d garbage=%d\n" s.Metrics.time s.Metrics.objects
+        s.Metrics.garbage)
+    (List.filteri (fun i _ -> i mod 3 = 0) (Metrics.samples sampler));
+
+  let stats = Sim.stats sim in
+  Printf.printf "\nclean=%b; cycles proven: %d; agents alive: %d incarnations + %d agencies\n"
+    clean
+    (Stats.get stats "dcda.cycles_found")
+    n_agents n_procs;
+  Printf.printf "final objects=%d (expected %d)\n" (Cluster.total_objects cluster)
+    (n_agents + n_procs)

@@ -1,0 +1,57 @@
+(* Quickstart: build a small distributed system, create a distributed
+   cycle of garbage, and watch the DCDA find and reclaim it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Sim = Adgc.Sim
+module Config = Adgc.Config
+module Cluster = Adgc_rt.Cluster
+module Mutator = Adgc_rt.Mutator
+
+let () =
+  (* A 4-process system with fast GC periods (the "quick" profile). *)
+  let config = Config.quick ~n_procs:4 () in
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+
+  (* Application setup: objects a@P0 -> b@P1 -> c@P2 -> d@P3 -> a,
+     a distributed cycle, held alive by a root on [a]. *)
+  let a = Mutator.alloc cluster ~proc:0 () in
+  let b = Mutator.alloc cluster ~proc:1 () in
+  let c = Mutator.alloc cluster ~proc:2 () in
+  let d = Mutator.alloc cluster ~proc:3 () in
+  Mutator.wire_remote cluster ~holder:a ~target:b;
+  Mutator.wire_remote cluster ~holder:b ~target:c;
+  Mutator.wire_remote cluster ~holder:c ~target:d;
+  Mutator.wire_remote cluster ~holder:d ~target:a;
+  Mutator.add_root cluster a;
+
+  (* Start the periodic duties: local GCs, stub sets, snapshots,
+     candidate scans. *)
+  Sim.start sim;
+  Sim.run_for sim 5_000;
+  Printf.printf "t=%-6d objects=%d (cycle rooted: nothing to collect)\n" (Sim.now sim)
+    (Cluster.total_objects cluster);
+
+  (* The application drops its last reference: the cycle is garbage
+     now, but no process can tell locally, and the acyclic DGC alone
+     would leak it forever. *)
+  Mutator.remove_root cluster a;
+  Printf.printf "t=%-6d root dropped; garbage (ground truth) = %d\n" (Sim.now sim)
+    (Sim.garbage_count sim);
+
+  (* Let the detector work. *)
+  let clean = Sim.run_until_clean ~step:1_000 ~max_time:200_000 sim in
+  Printf.printf "t=%-6d objects=%d clean=%b\n" (Sim.now sim) (Cluster.total_objects cluster)
+    clean;
+
+  (* What happened, in the detector's own words: *)
+  List.iter
+    (fun r -> Format.printf "detected: %a@." Adgc_dcda.Report.pp r)
+    (Sim.reports sim);
+
+  let stats = Sim.stats sim in
+  Printf.printf "detections started: %d, cycles found: %d, CDMs sent: %d\n"
+    (Adgc_util.Stats.get stats "dcda.detections_started")
+    (Adgc_util.Stats.get stats "dcda.cycles_found")
+    (Adgc_util.Stats.get stats "dcda.cdm_sent")

@@ -1,0 +1,1 @@
+lib/algebra/algebra.ml: Adgc_serial Format Int List Oid Option Proc_id Ref_key

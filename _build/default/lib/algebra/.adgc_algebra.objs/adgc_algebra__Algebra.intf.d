@@ -1,0 +1,1 @@
+lib/algebra/algebra.mli: Adgc_serial Format Ref_key

@@ -1,0 +1,1 @@
+lib/algebra/btmsg.ml: Adgc_serial Format Int List Oid Proc_id Ref_key

@@ -1,0 +1,1 @@
+lib/algebra/btmsg.mli: Adgc_serial Format Proc_id Ref_key

@@ -1,0 +1,1 @@
+lib/algebra/cdm.ml: Adgc_serial Algebra Detection_id Format Oid Proc_id Ref_key

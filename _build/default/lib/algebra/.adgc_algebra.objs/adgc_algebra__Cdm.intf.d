@@ -1,0 +1,1 @@
+lib/algebra/cdm.mli: Adgc_serial Algebra Detection_id Format Proc_id Ref_key

@@ -1,0 +1,1 @@
+lib/algebra/detection_id.ml: Format Int Map Proc_id Set

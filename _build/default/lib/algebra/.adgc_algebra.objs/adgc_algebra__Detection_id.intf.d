@@ -1,0 +1,1 @@
+lib/algebra/detection_id.mli: Format Map Proc_id Set

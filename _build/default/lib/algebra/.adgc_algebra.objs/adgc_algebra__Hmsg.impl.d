@@ -1,0 +1,1 @@
+lib/algebra/hmsg.ml: Adgc_serial Format List Oid Proc_id

@@ -1,0 +1,1 @@
+lib/algebra/hmsg.mli: Adgc_serial Format Oid

@@ -1,0 +1,1 @@
+lib/algebra/oid.ml: Format Hashtbl Int Map Proc_id Set

@@ -1,0 +1,1 @@
+lib/algebra/oid.mli: Format Hashtbl Map Proc_id Set

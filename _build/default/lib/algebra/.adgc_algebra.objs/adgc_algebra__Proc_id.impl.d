@@ -1,0 +1,1 @@
+lib/algebra/proc_id.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/algebra/proc_id.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/algebra/ref_key.ml: Format Hashtbl Map Oid Proc_id Set

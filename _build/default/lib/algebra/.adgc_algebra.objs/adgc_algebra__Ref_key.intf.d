@@ -1,0 +1,1 @@
+lib/algebra/ref_key.mli: Format Hashtbl Map Oid Proc_id Set

@@ -1,0 +1,205 @@
+module Sval = Adgc_serial.Sval
+
+type t = { source : int Ref_key.Map.t; target : int Ref_key.Map.t }
+
+let empty = { source = Ref_key.Map.empty; target = Ref_key.Map.empty }
+
+type side = Source | Target
+
+let side_name = function Source -> "source" | Target -> "target"
+
+type add_result =
+  | Added of t
+  | Ic_conflict of { key : Ref_key.t; existing : int; incoming : int }
+
+let pick = function Source -> fun t -> t.source | Target -> fun t -> t.target
+
+let put side t m = match side with Source -> { t with source = m } | Target -> { t with target = m }
+
+let add t side key ~ic =
+  let m = pick side t in
+  match Ref_key.Map.find_opt key m with
+  | Some existing when existing = ic -> Added t
+  | Some existing -> Ic_conflict { key; existing; incoming = ic }
+  | None -> Added (put side t (Ref_key.Map.add key ic m))
+
+let add_exn t side key ~ic =
+  match add t side key ~ic with
+  | Added t -> t
+  | Ic_conflict { key; existing; incoming } ->
+      invalid_arg
+        (Format.asprintf "Algebra.add_exn: IC conflict on %a (%d vs %d)" Ref_key.pp key
+           existing incoming)
+
+let source t = Ref_key.Map.bindings t.source
+
+let target t = Ref_key.Map.bindings t.target
+
+let mem t side key = Ref_key.Map.mem key (pick side t)
+
+let ic t side key = Ref_key.Map.find_opt key (pick side t)
+
+let cardinal t = (Ref_key.Map.cardinal t.source, Ref_key.Map.cardinal t.target)
+
+let equal a b =
+  Ref_key.Map.equal Int.equal a.source b.source
+  && Ref_key.Map.equal Int.equal a.target b.target
+
+type matching_result =
+  | Match of { unresolved : (Ref_key.t * int) list; frontier : (Ref_key.t * int) list }
+  | Ic_abort of { key : Ref_key.t; source_ic : int; target_ic : int }
+
+exception Abort of Ref_key.t * int * int
+
+let matching t =
+  (* One simultaneous walk over both ordered maps: entries present on
+     both sides cancel when their ICs agree and abort otherwise. *)
+  try
+    let unresolved = ref [] and frontier = ref [] in
+    let cancel key source_ic target_ic =
+      if source_ic <> target_ic then raise (Abort (key, source_ic, target_ic))
+      else None
+    in
+    ignore
+      (Ref_key.Map.merge
+         (fun key s_ic t_ic ->
+           (match (s_ic, t_ic) with
+           | Some s, Some tg -> ignore (cancel key s tg)
+           | Some s, None -> unresolved := (key, s) :: !unresolved
+           | None, Some tg -> frontier := (key, tg) :: !frontier
+           | None, None -> ());
+           None)
+         t.source t.target);
+    Match { unresolved = List.rev !unresolved; frontier = List.rev !frontier }
+  with Abort (key, source_ic, target_ic) -> Ic_abort { key; source_ic; target_ic }
+
+let cycle_found t =
+  match matching t with
+  | Match { unresolved = []; frontier = [] } -> true
+  | Match _ | Ic_abort _ -> false
+
+let entry_to_sval (key, ic) =
+  Sval.Record
+    ( "entry",
+      [
+        ("src", Sval.Int (Proc_id.to_int key.Ref_key.src));
+        ("owner", Sval.Int (Proc_id.to_int (Oid.owner key.Ref_key.target)));
+        ("serial", Sval.Int key.Ref_key.target.Oid.serial);
+        ("ic", Sval.Int ic);
+      ] )
+
+let entry_of_sval = function
+  | Sval.Record
+      ( "entry",
+        [ ("src", Sval.Int src); ("owner", Sval.Int owner); ("serial", Sval.Int serial); ("ic", Sval.Int ic) ]
+      )
+    when src >= 0 && owner >= 0 && serial >= 0 ->
+      let target = Oid.make ~owner:(Proc_id.of_int owner) ~serial in
+      Some (Ref_key.make ~src:(Proc_id.of_int src) ~target, ic)
+  | _ -> None
+
+let to_sval t =
+  Sval.Record
+    ( "algebra",
+      [
+        ("source", Sval.List (List.map entry_to_sval (source t)));
+        ("target", Sval.List (List.map entry_to_sval (target t)));
+      ] )
+
+(* Compact form: one record per distinct (key, ic) with two presence
+   bits packed into one integer (1 = source, 2 = target, 3 = both). *)
+let compact_entry_to_sval (key, ic, bits) =
+  Sval.Record
+    ( "ce",
+      [
+        ("src", Sval.Int (Proc_id.to_int key.Ref_key.src));
+        ("owner", Sval.Int (Proc_id.to_int (Oid.owner key.Ref_key.target)));
+        ("serial", Sval.Int key.Ref_key.target.Oid.serial);
+        ("ic", Sval.Int ic);
+        ("bits", Sval.Int bits);
+      ] )
+
+let to_sval_compact t =
+  let entries =
+    Ref_key.Map.fold
+      (fun key s_ic acc ->
+        match Ref_key.Map.find_opt key t.target with
+        | Some t_ic when t_ic = s_ic -> (key, s_ic, 3) :: acc
+        | Some _ | None -> (key, s_ic, 1) :: acc)
+      t.source []
+  in
+  let entries =
+    Ref_key.Map.fold
+      (fun key t_ic acc ->
+        match Ref_key.Map.find_opt key t.source with
+        | Some s_ic when s_ic = t_ic -> acc (* already written with bits=3 *)
+        | Some _ | None -> (key, t_ic, 2) :: acc)
+      t.target entries
+  in
+  Sval.Record ("algebra_c", [ ("entries", Sval.List (List.rev_map compact_entry_to_sval entries)) ])
+
+let compact_entry_of_sval = function
+  | Sval.Record
+      ( "ce",
+        [
+          ("src", Sval.Int src);
+          ("owner", Sval.Int owner);
+          ("serial", Sval.Int serial);
+          ("ic", Sval.Int ic);
+          ("bits", Sval.Int bits);
+        ] )
+    when src >= 0 && owner >= 0 && serial >= 0 && bits >= 1 && bits <= 3 ->
+      let target = Oid.make ~owner:(Proc_id.of_int owner) ~serial in
+      Some (Ref_key.make ~src:(Proc_id.of_int src) ~target, ic, bits)
+  | _ -> None
+
+let of_sval_compact entries =
+  List.fold_left
+    (fun acc e ->
+      match (acc, compact_entry_of_sval e) with
+      | Some t, Some (key, ic, bits) ->
+          let add_side side t =
+            match add t side key ~ic with Added t -> Some t | Ic_conflict _ -> None
+          in
+          let t = if bits land 1 <> 0 then add_side Source t else Some t in
+          Option.bind t (fun t -> if bits land 2 <> 0 then add_side Target t else Some t)
+      | _, _ -> None)
+    (Some empty) entries
+
+let of_sval v =
+  let entries l =
+    List.fold_left
+      (fun acc e ->
+        match (acc, entry_of_sval e) with
+        | Some acc, Some entry -> Some (entry :: acc)
+        | _, _ -> None)
+      (Some []) l
+    |> Option.map List.rev
+  in
+  match v with
+  | Sval.Record ("algebra_c", [ ("entries", Sval.List l) ]) -> of_sval_compact l
+  | Sval.Record ("algebra", [ ("source", Sval.List src); ("target", Sval.List tgt) ]) -> (
+      match (entries src, entries tgt) with
+      | Some src, Some tgt ->
+          let build side init l =
+            List.fold_left
+              (fun acc (key, ic) ->
+                match acc with
+                | None -> None
+                | Some t -> ( match add t side key ~ic with Added t -> Some t | Ic_conflict _ -> None))
+              (Some init) l
+          in
+          Option.bind (build Source empty src) (fun t -> build Target t tgt)
+      | _, _ -> None)
+  | _ -> None
+
+let pp_entry ppf (key, ic) = Format.fprintf ppf "%a:%d" Ref_key.pp key ic
+
+let pp_entries ppf l =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_entry)
+    l
+
+let pp ppf t = Format.fprintf ppf "{%a -> %a}" pp_entries (source t) pp_entries (target t)
+
+let to_string t = Format.asprintf "%a" pp t

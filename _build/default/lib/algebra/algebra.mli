@@ -1,0 +1,102 @@
+(** The CDM algebra (paper, Section 3).
+
+    A cycle-detection message carries two sets of reference entries:
+
+    - the {b source set}: compiled {e dependencies} — every scion the
+      detection has relied upon (the candidate scion, each arrival
+      scion, and every extra [ScionsTo] dependency discovered along
+      the way);
+    - the {b target set}: every stub the message has been {e forwarded
+      along}.
+
+    Each entry is a reference key paired with the invocation counter
+    (IC) observed in the snapshot of the process that contributed the
+    entry — scion-side for source entries, stub-side for target
+    entries.
+
+    {b Matching} cancels entries present in both sets: a dependency on
+    a reference is resolved exactly when the detection has traversed
+    that reference's stub.  Two occurrences of the same key with
+    different ICs mean a remote invocation slipped between the two
+    snapshots — the mutator touched the CDM-Graph — and matching
+    reports an abort (paper §3.2, safety rule ii).  A distributed
+    garbage cycle is proven when matching leaves both sets empty
+    (paper step 25-26: [{{} -> {}}]). *)
+
+type t
+
+val empty : t
+
+type side = Source | Target
+
+val side_name : side -> string
+
+(** {1 Construction} *)
+
+type add_result =
+  | Added of t
+  | Ic_conflict of { key : Ref_key.t; existing : int; incoming : int }
+      (** The same reference was already recorded on that side with a
+          different IC: a mutation signal; the detection must abort. *)
+
+val add : t -> side -> Ref_key.t -> ic:int -> add_result
+(** Adding an entry that is already present with the same IC returns
+    the algebra unchanged (sets, not multisets). *)
+
+val add_exn : t -> side -> Ref_key.t -> ic:int -> t
+(** Test helper. @raise Invalid_argument on conflict. *)
+
+(** {1 Observation} *)
+
+val source : t -> (Ref_key.t * int) list
+(** Ascending key order. *)
+
+val target : t -> (Ref_key.t * int) list
+
+val mem : t -> side -> Ref_key.t -> bool
+
+val ic : t -> side -> Ref_key.t -> int option
+
+val cardinal : t -> int * int
+(** [(|source|, |target|)]. *)
+
+val equal : t -> t -> bool
+(** Keys {e and} ICs on both sides. Used for the paper's
+    no-new-information termination rule (step 15). *)
+
+(** {1 Matching} *)
+
+type matching_result =
+  | Match of { unresolved : (Ref_key.t * int) list; frontier : (Ref_key.t * int) list }
+      (** [unresolved]: source-only entries (dependencies not yet
+          traversed); [frontier]: target-only entries (the wave front
+          of the detection).  The cycle is found when both are []. *)
+  | Ic_abort of { key : Ref_key.t; source_ic : int; target_ic : int }
+
+val matching : t -> matching_result
+
+val cycle_found : t -> bool
+(** [matching t = Match {unresolved = []; frontier = []}]. *)
+
+(** {1 Wire format and printing} *)
+
+val to_sval : t -> Adgc_serial.Sval.t
+(** Plain representation: the two sets written out separately. *)
+
+val of_sval : Adgc_serial.Sval.t -> t option
+(** Accepts both the plain and the compact representation. *)
+
+val to_sval_compact : t -> Adgc_serial.Sval.t
+(** The paper's optimized representation (§4): one entry per distinct
+    reference with two presence bits (source/target), so a reference
+    in both sets is written once.  On a concluding CDM (every entry in
+    both sets) this halves the entry count.  An entry appearing on
+    both sides with {e different} ICs cannot be shared and is written
+    twice.  [of_sval] reads it back; [of_sval (to_sval_compact t)]
+    equals [t]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper style: [{{P1->#0@P2:3} -> {P2->#1@P4:0}}] where the integer
+    after [:] is the IC. *)
+
+val to_string : t -> string

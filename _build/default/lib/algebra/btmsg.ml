@@ -1,0 +1,53 @@
+module Sval = Adgc_serial.Sval
+
+type trace_id = { initiator : Proc_id.t; seq : int }
+
+let trace_id_compare a b =
+  let c = Proc_id.compare a.initiator b.initiator in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let pp_trace_id ppf t = Format.fprintf ppf "T%d@@%a" t.seq Proc_id.pp t.initiator
+
+type query = { trace : trace_id; subject : Ref_key.t; visited : Ref_key.t list }
+
+type verdict = Rooted | Cycle_back
+
+type reply = { trace : trace_id; subject : Ref_key.t; verdict : verdict }
+
+type t = Query of query | Reply of reply
+
+let pp ppf = function
+  | Query q ->
+      Format.fprintf ppf "BT-QUERY[%a subject=%a visited=%d]" pp_trace_id q.trace Ref_key.pp
+        q.subject (List.length q.visited)
+  | Reply r ->
+      Format.fprintf ppf "BT-REPLY[%a subject=%a %s]" pp_trace_id r.trace Ref_key.pp r.subject
+        (match r.verdict with Rooted -> "rooted" | Cycle_back -> "cycle-back")
+
+let ref_to_sval (k : Ref_key.t) =
+  Sval.List
+    [
+      Sval.Int (Proc_id.to_int k.src);
+      Sval.Int (Proc_id.to_int (Oid.owner k.target));
+      Sval.Int k.target.Oid.serial;
+    ]
+
+let to_sval = function
+  | Query q ->
+      Sval.Record
+        ( "bt_query",
+          [
+            ("initiator", Sval.Int (Proc_id.to_int q.trace.initiator));
+            ("seq", Sval.Int q.trace.seq);
+            ("subject", ref_to_sval q.subject);
+            ("visited", Sval.List (List.map ref_to_sval q.visited));
+          ] )
+  | Reply r ->
+      Sval.Record
+        ( "bt_reply",
+          [
+            ("initiator", Sval.Int (Proc_id.to_int r.trace.initiator));
+            ("seq", Sval.Int r.trace.seq);
+            ("subject", ref_to_sval r.subject);
+            ("verdict", Sval.Bool (match r.verdict with Rooted -> true | Cycle_back -> false));
+          ] )

@@ -1,0 +1,50 @@
+module Sval = Adgc_serial.Sval
+
+type t = { id : Detection_id.t; algebra : Algebra.t; frontier : Ref_key.t; hops : int; budget : int }
+
+let make ~id ~algebra ~frontier ~hops ~budget = { id; algebra; frontier; hops; budget }
+
+let dest t = Ref_key.owner t.frontier
+
+let to_sval t =
+  Sval.Record
+    ( "cdm",
+      [
+        ("initiator", Sval.Int (Proc_id.to_int t.id.Detection_id.initiator));
+        ("seq", Sval.Int t.id.Detection_id.seq);
+        (* The paper's optimized two-presence-bit representation. *)
+        ("algebra", Algebra.to_sval_compact t.algebra);
+        ("f_src", Sval.Int (Proc_id.to_int t.frontier.Ref_key.src));
+        ("f_owner", Sval.Int (Proc_id.to_int (Oid.owner t.frontier.Ref_key.target)));
+        ("f_serial", Sval.Int t.frontier.Ref_key.target.Oid.serial);
+        ("hops", Sval.Int t.hops);
+        ("budget", Sval.Int t.budget);
+      ] )
+
+let of_sval = function
+  | Sval.Record
+      ( "cdm",
+        [
+          ("initiator", Sval.Int initiator);
+          ("seq", Sval.Int seq);
+          ("algebra", alg);
+          ("f_src", Sval.Int f_src);
+          ("f_owner", Sval.Int f_owner);
+          ("f_serial", Sval.Int f_serial);
+          ("hops", Sval.Int hops);
+          ("budget", Sval.Int budget);
+        ] )
+    when initiator >= 0 && f_src >= 0 && f_owner >= 0 && f_serial >= 0 && hops >= 0 && budget >= 0
+    -> (
+      match Algebra.of_sval alg with
+      | Some algebra ->
+          let id = Detection_id.make ~initiator:(Proc_id.of_int initiator) ~seq in
+          let target = Oid.make ~owner:(Proc_id.of_int f_owner) ~serial:f_serial in
+          let frontier = Ref_key.make ~src:(Proc_id.of_int f_src) ~target in
+          Some (make ~id ~algebra ~frontier ~hops ~budget)
+      | None -> None)
+  | _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "CDM[%a hops=%d budget=%d frontier=%a] %a" Detection_id.pp t.id t.hops
+    t.budget Ref_key.pp t.frontier Algebra.pp t.algebra

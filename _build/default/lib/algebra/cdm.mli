@@ -1,0 +1,36 @@
+(** Cycle Detection Messages.
+
+    A CDM travels along one stub of the candidate sub-graph: it is
+    addressed to the process owning [frontier.target] and will be
+    combined there with that process's summarized snapshot.  The
+    algebra inside already contains the frontier reference in its
+    target set (with the stub-side IC recorded by the sender); the
+    receiver performs the paper's delivery-time safety checks against
+    the scion side. *)
+
+type t = {
+  id : Detection_id.t;
+  algebra : Algebra.t;
+  frontier : Ref_key.t;  (** the stub this CDM was forwarded along *)
+  hops : int;  (** processes visited so far, for statistics and TTL *)
+  budget : int;
+      (** remaining work allowance for this branch of the detection:
+          each forward costs one and a fan-out splits what is left
+          among the derivations, so a whole detection sends at most
+          its initial budget of CDMs — the stateless defence against
+          combinatorial fan-out on densely connected garbage *)
+}
+
+val make :
+  id:Detection_id.t -> algebra:Algebra.t -> frontier:Ref_key.t -> hops:int -> budget:int -> t
+
+val dest : t -> Proc_id.t
+(** The owner of the frontier's target object. *)
+
+val to_sval : t -> Adgc_serial.Sval.t
+(** Wire representation; its encoded size (through either codec) is
+    what the message-size statistics report. *)
+
+val of_sval : Adgc_serial.Sval.t -> t option
+
+val pp : Format.formatter -> t -> unit

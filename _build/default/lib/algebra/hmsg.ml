@@ -1,0 +1,31 @@
+module Sval = Adgc_serial.Sval
+
+type t =
+  | Stamp of (Oid.t * int) list
+  | Report of { round_time : int }
+  | Threshold of { value : int }
+
+let pp ppf = function
+  | Stamp stamps -> Format.fprintf ppf "H-STAMP[%d entries]" (List.length stamps)
+  | Report { round_time } -> Format.fprintf ppf "H-REPORT[t=%d]" round_time
+  | Threshold { value } -> Format.fprintf ppf "H-THRESHOLD[%d]" value
+
+let to_sval = function
+  | Stamp stamps ->
+      Sval.Record
+        ( "h_stamp",
+          [
+            ( "stamps",
+              Sval.List
+                (List.map
+                   (fun ((o : Oid.t), stamp) ->
+                     Sval.List
+                       [
+                         Sval.Int (Proc_id.to_int (Oid.owner o));
+                         Sval.Int o.Oid.serial;
+                         Sval.Int stamp;
+                       ])
+                   stamps) );
+          ] )
+  | Report { round_time } -> Sval.Record ("h_report", [ ("round_time", Sval.Int round_time) ])
+  | Threshold { value } -> Sval.Record ("h_threshold", [ ("value", Sval.Int value) ])

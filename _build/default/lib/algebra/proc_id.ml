@@ -1,0 +1,20 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Proc_id.of_int: negative";
+  i
+
+let to_int t = t
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash t = t
+
+let pp ppf t = Format.fprintf ppf "P%d" t
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

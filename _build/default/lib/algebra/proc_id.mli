@@ -1,0 +1,27 @@
+(** Process identifiers.
+
+    A process is one participant of the distributed system (the
+    paper's [P1], [P2], ...).  Identifiers are small dense integers
+    assigned by the cluster at creation time. *)
+
+type t
+
+val of_int : int -> t
+(** Requires a non-negative argument. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's style: [P1], [P7], ... *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

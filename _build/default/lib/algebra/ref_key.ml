@@ -1,0 +1,34 @@
+type t = { src : Proc_id.t; target : Oid.t }
+
+let make ~src ~target = { src; target }
+
+let owner t = Oid.owner t.target
+
+let compare a b =
+  let c = Proc_id.compare a.src b.src in
+  if c <> 0 then c else Oid.compare a.target b.target
+
+let equal a b = compare a b = 0
+
+let hash t = (Proc_id.hash t.src * 1000003) + Oid.hash t.target
+
+let pp ppf t = Format.fprintf ppf "%a->%a" Proc_id.pp t.src Oid.pp t.target
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)

@@ -1,0 +1,1 @@
+lib/baseline/backtrack.ml: Adgc_algebra Adgc_rt Adgc_snapshot Adgc_util Btmsg List Map Msg Option Proc_id Process Ref_key Runtime Scheduler Scion_table

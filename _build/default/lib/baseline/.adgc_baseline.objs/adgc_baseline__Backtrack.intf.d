@@ -1,0 +1,1 @@
+lib/baseline/backtrack.mli: Adgc_algebra Adgc_rt Adgc_snapshot Ref_key

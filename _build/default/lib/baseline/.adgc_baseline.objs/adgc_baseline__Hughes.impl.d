@@ -1,0 +1,1 @@
+lib/baseline/hughes.ml: Adgc_algebra Adgc_rt Adgc_snapshot Adgc_util Array Cluster Hashtbl Hmsg Int List Msg Oid Option Proc_id Process Ref_key Runtime Scheduler Scion_table

@@ -1,0 +1,1 @@
+lib/baseline/hughes.mli: Adgc_algebra Adgc_rt Ref_key

@@ -1,0 +1,43 @@
+(** Distributed back-tracing cycle detector — the comparison baseline.
+
+    A simplified reconstruction of Maheshwari & Liskov's PODC'97
+    back-tracing (the paper's related work, [11]): from a suspect
+    scion, trace {e backwards} through the references that lead to it;
+    the suspect is garbage exactly when no back-path reaches a local
+    root.  Like the original, it needs per-process state for every
+    detection in course (continuations waiting on child back-traces),
+    visited marks carried with the queries, and a reply for every
+    query — the structural costs the DCDA avoids, which experiment E7
+    measures side by side.
+
+    Back-traces read the same published summaries as the DCDA.  The
+    original achieves safety under mutation with transfer barriers we
+    do not reproduce; run it on quiescent systems (as the E7 bench
+    does).  This is a deliberate simplification in the baseline's
+    favour — it only strengthens the comparison when the DCDA wins. *)
+
+open Adgc_algebra
+
+type t
+
+val attach : ?timeout:int -> Adgc_rt.Runtime.t -> Adgc_rt.Process.t -> t
+(** Installs the process's [on_bt] hook. Timeout (default 50 000
+    ticks) bounds how long initiator and intermediate state lives. *)
+
+val set_summary : t -> Adgc_snapshot.Summary.t -> unit
+
+val suspect : t -> Ref_key.t -> bool
+(** Start a back-trace from one of this process's scions; [false] when
+    the summary rejects it.  On a garbage verdict the scion is deleted
+    (with a tombstone), as the DCDA would. *)
+
+val scan : t -> idle_threshold:int -> int
+(** Initiate a back-trace from every idle, locally-unreachable scion. *)
+
+val verdicts : t -> (Ref_key.t * bool) list
+(** Concluded suspicions at this initiator: [(scion, was_garbage)],
+    oldest first. *)
+
+val state_size : t -> int
+(** Continuations + memo entries currently held — the per-process
+    detection state the paper's related-work section criticizes. *)

@@ -1,0 +1,1 @@
+lib/core/config.ml: Adgc_dcda Adgc_rt Adgc_serial Adgc_snapshot

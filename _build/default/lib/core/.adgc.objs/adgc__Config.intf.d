@@ -1,0 +1,1 @@
+lib/core/config.mli: Adgc_dcda Adgc_rt Adgc_serial Adgc_snapshot

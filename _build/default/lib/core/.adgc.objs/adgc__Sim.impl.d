@@ -1,0 +1,1 @@
+lib/core/sim.ml: Adgc_algebra Adgc_baseline Adgc_dcda Adgc_rt Adgc_snapshot Array Cluster Config Int Lgc List Oid Proc_id Process Reflist Runtime Scheduler

@@ -1,0 +1,1 @@
+lib/core/sim.mli: Adgc_algebra Adgc_baseline Adgc_dcda Adgc_rt Adgc_snapshot Adgc_util Config Oid

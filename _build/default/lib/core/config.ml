@@ -1,0 +1,38 @@
+type detector_kind = Dcda | Backtrack | Hughes_gc | No_detector
+
+type t = {
+  seed : int;
+  n_procs : int;
+  runtime : Adgc_rt.Runtime.config;
+  net : Adgc_rt.Network.config;
+  policy : Adgc_dcda.Policy.t;
+  detector : detector_kind;
+  codec : Adgc_serial.Codec.t;
+  summarize : Adgc_snapshot.Summarize.algo;
+  incremental_snapshots : bool;
+  bt_timeout : int;
+  bt_idle_threshold : int;
+}
+
+let default ?(seed = 42) ?(n_procs = 4) () =
+  {
+    seed;
+    n_procs;
+    runtime = Adgc_rt.Runtime.default_config ();
+    net = Adgc_rt.Network.default_config ();
+    policy = Adgc_dcda.Policy.default;
+    detector = Dcda;
+    codec = (module Adgc_serial.Net_codec : Adgc_serial.Codec.S);
+    summarize = Adgc_snapshot.Summarize.Condensed;
+    incremental_snapshots = false;
+    bt_timeout = 50_000;
+    bt_idle_threshold = 2_000;
+  }
+
+let quick ?(seed = 42) ?(n_procs = 4) () =
+  let t = default ~seed ~n_procs () in
+  let runtime = t.runtime in
+  runtime.Adgc_rt.Runtime.lgc_period <- 300;
+  runtime.Adgc_rt.Runtime.new_set_period <- 350;
+  runtime.Adgc_rt.Runtime.scion_grace <- 3_000;
+  { t with policy = Adgc_dcda.Policy.aggressive; bt_idle_threshold = 200 }

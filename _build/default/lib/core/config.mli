@@ -1,0 +1,31 @@
+(** Top-level configuration of a simulation. *)
+
+type detector_kind =
+  | Dcda  (** the paper's cycle detector *)
+  | Backtrack  (** the back-tracing baseline *)
+  | Hughes_gc  (** the timestamp-propagation baseline (starts with {!Sim.start}) *)
+  | No_detector  (** acyclic DGC only (distributed cycles leak) *)
+
+type t = {
+  seed : int;
+  n_procs : int;
+  runtime : Adgc_rt.Runtime.config;
+  net : Adgc_rt.Network.config;
+  policy : Adgc_dcda.Policy.t;
+  detector : detector_kind;
+  codec : Adgc_serial.Codec.t;  (** snapshot serialization codec *)
+  summarize : Adgc_snapshot.Summarize.algo;
+  incremental_snapshots : bool;
+      (** use the dirty-region incremental summarizer instead of full
+          re-summarization at every snapshot *)
+  bt_timeout : int;  (** back-tracing initiator/state timeout *)
+  bt_idle_threshold : int;
+}
+
+val default : ?seed:int -> ?n_procs:int -> unit -> t
+(** DCDA with the default policy, compact codec, condensed
+    summarizer, 4 processes, seed 42. *)
+
+val quick : ?seed:int -> ?n_procs:int -> unit -> t
+(** Aggressive periods everywhere — detections conclude within a few
+    thousand ticks; what most tests use. *)

@@ -1,0 +1,159 @@
+open Adgc_algebra
+open Adgc_rt
+module Detector = Adgc_dcda.Detector
+module Backtrack = Adgc_baseline.Backtrack
+module Snapshot_store = Adgc_snapshot.Snapshot_store
+
+type detectors =
+  | Dcda_instances of Detector.t array
+  | Bt_instances of Backtrack.t array
+  | Nothing
+
+type t = {
+  config : Config.t;
+  cluster : Cluster.t;
+  store : Snapshot_store.t;
+  detectors : detectors;
+  mutable hughes : Adgc_baseline.Hughes.t option;
+  mutable handles : Scheduler.recurring list;
+}
+
+let create ?config () =
+  let config = match config with Some c -> c | None -> Config.default () in
+  let cluster =
+    Cluster.create ~seed:config.Config.seed ~config:config.Config.runtime
+      ~net_config:config.Config.net ~n:config.Config.n_procs ()
+  in
+  let rt = Cluster.rt cluster in
+  let store =
+    Snapshot_store.create ~codec:config.Config.codec ~algo:config.Config.summarize
+      ~incremental:config.Config.incremental_snapshots rt
+  in
+  let detectors =
+    match config.Config.detector with
+    | Config.Dcda ->
+        let arr =
+          Array.map (fun p -> Detector.attach rt p ~policy:config.Config.policy) rt.Runtime.procs
+        in
+        Snapshot_store.subscribe store (fun summary ->
+            let i = Proc_id.to_int summary.Adgc_snapshot.Summary.proc in
+            Detector.set_summary arr.(i) summary);
+        Dcda_instances arr
+    | Config.Backtrack ->
+        let arr =
+          Array.map (fun p -> Backtrack.attach ~timeout:config.Config.bt_timeout rt p) rt.Runtime.procs
+        in
+        Snapshot_store.subscribe store (fun summary ->
+            let i = Proc_id.to_int summary.Adgc_snapshot.Summary.proc in
+            Backtrack.set_summary arr.(i) summary);
+        Bt_instances arr
+    | Config.Hughes_gc | Config.No_detector -> Nothing
+  in
+  { config; cluster; store; detectors; hughes = None; handles = [] }
+
+let config t = t.config
+
+let cluster t = t.cluster
+
+let rt t = Cluster.rt t.cluster
+
+let store t = t.store
+
+let detector t i =
+  match t.detectors with
+  | Dcda_instances arr -> arr.(i)
+  | Bt_instances _ | Nothing -> invalid_arg "Sim.detector: not running the DCDA"
+
+let backtracker t i =
+  match t.detectors with
+  | Bt_instances arr -> arr.(i)
+  | Dcda_instances _ | Nothing -> invalid_arg "Sim.backtracker: not running the baseline"
+
+let stats t = Cluster.stats t.cluster
+
+let trace t = Cluster.trace t.cluster
+
+let now t = Cluster.now t.cluster
+
+let run_for t delay = Cluster.run_for t.cluster delay
+
+let snapshot_all t = Snapshot_store.take_all t.store
+
+let scan_one t i =
+  match t.detectors with
+  | Dcda_instances arr -> Detector.scan arr.(i)
+  | Bt_instances arr -> Backtrack.scan arr.(i) ~idle_threshold:t.config.Config.bt_idle_threshold
+  | Nothing -> 0
+
+let scan_all t =
+  let n = Cluster.n_procs t.cluster in
+  let rec go i acc = if i >= n then acc else go (i + 1) (acc + scan_one t i) in
+  go 0 0
+
+let start t =
+  if t.handles = [] then begin
+    Cluster.start_gc t.cluster;
+    (match (t.config.Config.detector, t.hughes) with
+    | Config.Hughes_gc, None -> t.hughes <- Some (Adgc_baseline.Hughes.install t.cluster)
+    | (Config.Hughes_gc | Config.Dcda | Config.Backtrack | Config.No_detector), _ -> ());
+    let sched = Cluster.sched t.cluster in
+    let n = Cluster.n_procs t.cluster in
+    let policy = t.config.Config.policy in
+    let handles = ref [] in
+    for i = 0 to n - 1 do
+      let p = Cluster.proc t.cluster i in
+      let snap_period = policy.Adgc_dcda.Policy.snapshot_period in
+      let scan_period = policy.Adgc_dcda.Policy.scan_period in
+      let h1 =
+        Scheduler.every sched ~phase:(1 + (i * snap_period / n)) ~period:snap_period (fun () ->
+            if p.Process.alive then
+              ignore (Snapshot_store.take t.store p : Adgc_snapshot.Summary.t))
+      in
+      let h2 =
+        Scheduler.every sched ~phase:(1 + (i * scan_period / n)) ~period:scan_period (fun () ->
+            if p.Process.alive then ignore (scan_one t i : int))
+      in
+      handles := h1 :: h2 :: !handles
+    done;
+    t.handles <- !handles
+  end
+
+let stop t =
+  List.iter Scheduler.cancel t.handles;
+  t.handles <- [];
+  (match t.hughes with
+  | Some h ->
+      Adgc_baseline.Hughes.stop h;
+      t.hughes <- None
+  | None -> ());
+  Cluster.stop_gc t.cluster
+
+let run_gc_cycle t =
+  snapshot_all t;
+  let rt = rt t in
+  Array.iter (fun p -> ignore (Lgc.run rt p : Lgc.report)) rt.Runtime.procs;
+  Array.iter (fun p -> Reflist.send_new_sets rt p) rt.Runtime.procs
+
+let reports t =
+  match t.detectors with
+  | Dcda_instances arr ->
+      Array.to_list arr
+      |> List.concat_map Detector.reports
+      |> List.sort (fun a b ->
+             Int.compare a.Adgc_dcda.Report.concluded_time b.Adgc_dcda.Report.concluded_time)
+  | Bt_instances _ | Nothing -> []
+
+let garbage_count t = Oid.Set.cardinal (Cluster.garbage t.cluster)
+
+let live_oids t = Cluster.globally_live t.cluster
+
+let run_until_clean ?(step = 1_000) ?(max_time = 2_000_000) t =
+  let rec go () =
+    if garbage_count t = 0 then true
+    else if now t >= max_time then false
+    else begin
+      run_for t step;
+      go ()
+    end
+  in
+  go ()

@@ -1,0 +1,69 @@
+(** A fully assembled system: cluster + snapshots + cycle detection.
+
+    [create] builds everything; [start] installs the periodic duties
+    (LGC, stub sets, snapshots, candidate scans — all phase-staggered
+    per process); then drive simulated time with [run_for] /
+    [run_until_quiescent] and inspect the results. *)
+
+open Adgc_algebra
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+
+val config : t -> Config.t
+
+val cluster : t -> Adgc_rt.Cluster.t
+
+val rt : t -> Adgc_rt.Runtime.t
+
+val store : t -> Adgc_snapshot.Snapshot_store.t
+
+val detector : t -> int -> Adgc_dcda.Detector.t
+(** @raise Invalid_argument unless the config selected [Dcda]. *)
+
+val backtracker : t -> int -> Adgc_baseline.Backtrack.t
+(** @raise Invalid_argument unless the config selected [Backtrack]. *)
+
+val stats : t -> Adgc_util.Stats.t
+
+val trace : t -> Adgc_util.Trace.t
+
+(** {1 Driving} *)
+
+val start : t -> unit
+
+val stop : t -> unit
+
+val now : t -> int
+
+val run_for : t -> int -> unit
+
+val snapshot_all : t -> unit
+(** Take a snapshot of every process right now (also happens
+    periodically once started). *)
+
+val scan_all : t -> int
+(** Run one candidate scan on every detector; returns detections
+    started. *)
+
+val run_gc_cycle : t -> unit
+(** One manual synchronous round: snapshot everywhere, LGC everywhere,
+    stub sets everywhere — useful in deterministic tests that do not
+    want the periodic timers. *)
+
+(** {1 Results} *)
+
+val reports : t -> Adgc_dcda.Report.t list
+(** All proven cycles across processes, in conclusion order. *)
+
+val garbage_count : t -> int
+(** Ground truth: objects currently allocated but globally
+    unreachable. *)
+
+val run_until_clean :
+  ?step:int -> ?max_time:int -> t -> bool
+(** Keep running until ground-truth garbage reaches zero or the time
+    budget runs out; [true] on success.  Requires [start]ed timers. *)
+
+val live_oids : t -> Oid.Set.t

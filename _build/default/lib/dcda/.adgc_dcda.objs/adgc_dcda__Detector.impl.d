@@ -1,0 +1,1 @@
+lib/dcda/detector.ml: Adgc_algebra Adgc_rt Adgc_snapshot Adgc_util Algebra Array Cdm Detection_id Int List Msg Oid Option Policy Proc_id Process Ref_key Report Runtime Scion_table

@@ -1,0 +1,1 @@
+lib/dcda/detector.mli: Adgc_algebra Adgc_rt Adgc_snapshot Cdm Policy Proc_id Ref_key Report

@@ -1,0 +1,1 @@
+lib/dcda/policy.mli:

@@ -1,0 +1,1 @@
+lib/dcda/report.ml: Adgc_algebra Detection_id Format List Proc_id Ref_key

@@ -1,0 +1,1 @@
+lib/dcda/report.mli: Adgc_algebra Detection_id Format Proc_id Ref_key

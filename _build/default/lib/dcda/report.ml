@@ -1,0 +1,23 @@
+open Adgc_algebra
+
+type t = {
+  id : Detection_id.t;
+  concluded_at : Proc_id.t;
+  concluded_time : int;
+  proven : Ref_key.t list;
+  hops : int;
+  deleted_here : Ref_key.t list;
+}
+
+let span t =
+  List.fold_left
+    (fun acc (key : Ref_key.t) ->
+      Proc_id.Set.add key.Ref_key.src (Proc_id.Set.add (Ref_key.owner key) acc))
+    Proc_id.Set.empty t.proven
+  |> Proc_id.Set.cardinal
+
+let pp ppf t =
+  Format.fprintf ppf "%a concluded at %a t=%d hops=%d cycle={%a}" Detection_id.pp t.id Proc_id.pp
+    t.concluded_at t.concluded_time t.hops
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Ref_key.pp)
+    t.proven

@@ -1,0 +1,17 @@
+(** Records of concluded cycle detections. *)
+
+open Adgc_algebra
+
+type t = {
+  id : Detection_id.t;
+  concluded_at : Proc_id.t;  (** process where matching came out empty *)
+  concluded_time : int;
+  proven : Ref_key.t list;  (** the cancelled reference set — the cycle *)
+  hops : int;  (** hops of the concluding CDM *)
+  deleted_here : Ref_key.t list;  (** scions deleted at the concluding process *)
+}
+
+val span : t -> int
+(** Number of distinct processes the proven references touch. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rt/cluster.ml: Adgc_algebra Adgc_util Array Heap Int Lgc List Msg Network Oid Proc_id Process Reflist Rmi Runtime Scheduler

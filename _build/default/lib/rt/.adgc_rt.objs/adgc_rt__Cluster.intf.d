@@ -1,0 +1,1 @@
+lib/rt/cluster.mli: Adgc_algebra Adgc_util Network Oid Proc_id Process Runtime Scheduler

@@ -1,0 +1,1 @@
+lib/rt/heap.ml: Adgc_algebra Array Format Int List Oid Proc_id Queue

@@ -1,0 +1,1 @@
+lib/rt/heap.mli: Adgc_algebra Oid Proc_id

@@ -1,0 +1,1 @@
+lib/rt/lgc.ml: Adgc_algebra Adgc_util Array Heap List Oid Proc_id Process Pstore Runtime Scion_table Stub_table

@@ -1,0 +1,1 @@
+lib/rt/lgc.mli: Process Runtime

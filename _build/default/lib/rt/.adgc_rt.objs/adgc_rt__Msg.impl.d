@@ -1,0 +1,1 @@
+lib/rt/msg.ml: Adgc_algebra Adgc_serial Btmsg Cdm Detection_id Format Hmsg List Oid Proc_id Ref_key

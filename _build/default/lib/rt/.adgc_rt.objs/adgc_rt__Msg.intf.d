@@ -1,0 +1,1 @@
+lib/rt/msg.mli: Adgc_algebra Adgc_serial Btmsg Cdm Detection_id Format Hmsg Oid Proc_id Ref_key

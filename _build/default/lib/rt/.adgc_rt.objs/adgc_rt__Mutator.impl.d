@@ -1,0 +1,1 @@
+lib/rt/mutator.ml: Adgc_algebra Array Cluster Format Heap Int List Oid Proc_id Process Ref_key Rmi Runtime Scion_table Stub_table

@@ -1,0 +1,1 @@
+lib/rt/mutator.mli: Adgc_algebra Cluster Heap Oid Process Runtime

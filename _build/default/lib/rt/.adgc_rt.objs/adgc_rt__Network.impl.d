@@ -1,0 +1,1 @@
+lib/rt/network.ml: Adgc_algebra Adgc_serial Adgc_util Hashtbl Msg Proc_id Scheduler String

@@ -1,0 +1,1 @@
+lib/rt/network.mli: Adgc_algebra Adgc_util Msg Proc_id Scheduler

@@ -1,0 +1,1 @@
+lib/rt/process.mli: Adgc_algebra Adgc_util Btmsg Cdm Detection_id Format Hashtbl Heap Hmsg Proc_id Pstore Ref_key Scion_table Stub_table

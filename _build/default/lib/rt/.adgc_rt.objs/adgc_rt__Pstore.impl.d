@@ -1,0 +1,1 @@
+lib/rt/pstore.ml: Adgc_algebra List Oid

@@ -1,0 +1,1 @@
+lib/rt/pstore.mli: Adgc_algebra Oid

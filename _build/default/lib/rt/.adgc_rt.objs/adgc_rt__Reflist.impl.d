@@ -1,0 +1,1 @@
+lib/rt/reflist.ml: Adgc_algebra Adgc_util Format Hashtbl Heap List Msg Oid Option Proc_id Process Ref_key Runtime Scheduler Scion_table Stub_table

@@ -1,0 +1,1 @@
+lib/rt/rmi.ml: Adgc_algebra Adgc_serial Adgc_util Format Hashtbl Heap List Msg Oid Proc_id Process Ref_key Reflist Runtime Scheduler Scion_table Stub_table

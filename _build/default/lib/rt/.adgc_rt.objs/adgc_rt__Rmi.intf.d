@@ -1,0 +1,1 @@
+lib/rt/rmi.mli: Adgc_algebra Oid Proc_id Process Runtime

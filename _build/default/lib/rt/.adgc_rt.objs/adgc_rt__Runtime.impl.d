@@ -1,0 +1,1 @@
+lib/rt/runtime.ml: Adgc_algebra Adgc_util Array Hashtbl Msg Network Oid Proc_id Process Scheduler

@@ -1,0 +1,1 @@
+lib/rt/runtime.mli: Adgc_algebra Adgc_util Format Hashtbl Msg Network Oid Proc_id Process Scheduler

@@ -1,0 +1,1 @@
+lib/rt/scheduler.ml: Adgc_util Int

@@ -1,0 +1,1 @@
+lib/rt/scion_table.ml: Adgc_algebra Format Hashtbl Int List Oid Option Proc_id Ref_key

@@ -1,0 +1,1 @@
+lib/rt/scion_table.mli: Adgc_algebra Oid Proc_id Ref_key

@@ -1,0 +1,1 @@
+lib/rt/stub_table.ml: Adgc_algebra Format List Oid Option Proc_id

@@ -1,0 +1,1 @@
+lib/rt/stub_table.mli: Adgc_algebra Oid Proc_id

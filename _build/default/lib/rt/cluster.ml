@@ -1,0 +1,182 @@
+open Adgc_algebra
+module Rng = Adgc_util.Rng
+module Stats = Adgc_util.Stats
+module Trace = Adgc_util.Trace
+
+type t = { rt : Runtime.t; mutable gc_handles : Scheduler.recurring list }
+
+let dispatch rt (msg : Msg.t) =
+  let at = Runtime.proc rt msg.Msg.dst in
+  if not at.Process.alive then Stats.incr rt.Runtime.stats "net.msg.dead_endpoint"
+  else
+  match msg.Msg.payload with
+  | Msg.Rmi_request { req_id; target; args; stub_ic } ->
+      Rmi.handle_request rt ~at ~src:msg.Msg.src ~req_id ~target ~args ~stub_ic
+  | Msg.Rmi_reply { req_id; target; results } -> Rmi.handle_reply rt ~at ~req_id ~target ~results
+  | Msg.Export_notice { notice_id; target; new_holder } ->
+      Reflist.handle_export_notice rt ~at ~src:msg.Msg.src ~notice_id ~target ~new_holder
+  | Msg.Export_ack { notice_id; _ } -> Reflist.handle_export_ack rt ~at ~notice_id
+  | Msg.New_set_stubs { seqno; targets } ->
+      Reflist.handle_new_set rt ~at ~src:msg.Msg.src ~seqno ~targets
+  | Msg.Scion_probe -> Reflist.handle_probe rt ~at ~src:msg.Msg.src
+  | Msg.Cdm cdm -> (
+      match at.Process.on_cdm with
+      | Some f -> f cdm
+      | None -> Stats.incr rt.Runtime.stats "cdm.unhandled")
+  | Msg.Cdm_delete { id; scions } -> (
+      match at.Process.on_cdm_delete with
+      | Some f -> f id scions
+      | None -> Stats.incr rt.Runtime.stats "cdm_delete.unhandled")
+  | Msg.Bt bt -> (
+      match at.Process.on_bt with
+      | Some f -> f ~src:msg.Msg.src bt
+      | None -> Stats.incr rt.Runtime.stats "bt.unhandled")
+  | Msg.Hughes h -> (
+      match at.Process.on_hughes with
+      | Some f -> f ~src:msg.Msg.src h
+      | None -> Stats.incr rt.Runtime.stats "hughes.unhandled")
+
+let create ?(seed = 42) ?config ?net_config ?trace_capacity ~n () =
+  if n <= 0 then invalid_arg "Cluster.create: need at least one process";
+  let config = match config with Some c -> c | None -> Runtime.default_config () in
+  let net_config = match net_config with Some c -> c | None -> Network.default_config () in
+  let rng = Rng.create seed in
+  let sched = Scheduler.create () in
+  let stats = Stats.create () in
+  let trace = Trace.create ?capacity:trace_capacity () in
+  let net = Network.create ~sched ~rng:(Rng.split rng) ~stats ~config:net_config in
+  let procs =
+    Array.init n (fun i -> Process.create ~id:(Proc_id.of_int i) ~rng:(Rng.split rng))
+  in
+  let rt = Runtime.create ~sched ~net ~procs ~rng ~stats ~trace ~config in
+  Network.set_deliver net (dispatch rt);
+  { rt; gc_handles = [] }
+
+let rt t = t.rt
+
+let sched t = t.rt.Runtime.sched
+
+let net t = t.rt.Runtime.net
+
+let stats t = t.rt.Runtime.stats
+
+let trace t = t.rt.Runtime.trace
+
+let proc t i = t.rt.Runtime.procs.(i)
+
+let proc_id _t i = Proc_id.of_int i
+
+let n_procs t = Array.length t.rt.Runtime.procs
+
+let now t = Scheduler.now (sched t)
+
+let run_for t delay = Scheduler.run_for (sched t) ~delay
+
+let run_until t ~time = Scheduler.run_until (sched t) ~time
+
+let drain ?limit t = Scheduler.drain ?limit (sched t)
+
+let start_gc t =
+  if t.gc_handles = [] then begin
+    let cfg = t.rt.Runtime.config in
+    let handles = ref [] in
+    Array.iteri
+      (fun i p ->
+        (* Phase-stagger the duties so processes do not collect in
+           lockstep — closer to independent real processes. *)
+        let lgc_phase = 1 + (i * cfg.Runtime.lgc_period / Int.max 1 (n_procs t)) in
+        let set_phase = 1 + (i * cfg.Runtime.new_set_period / Int.max 1 (n_procs t)) in
+        let h1 =
+          Scheduler.every (sched t) ~phase:lgc_phase ~period:cfg.Runtime.lgc_period (fun () ->
+              if p.Process.alive then ignore (Lgc.run t.rt p : Lgc.report))
+        in
+        let h2 =
+          Scheduler.every (sched t) ~phase:set_phase ~period:cfg.Runtime.new_set_period
+            (fun () ->
+              if p.Process.alive then begin
+                Reflist.send_new_sets t.rt p;
+                Reflist.probe_idle_scions t.rt p ~threshold:(3 * cfg.Runtime.new_set_period);
+                Reflist.reap_dead_holders t.rt p
+              end)
+        in
+        handles := h1 :: h2 :: !handles)
+      t.rt.Runtime.procs;
+    t.gc_handles <- !handles
+  end
+
+let stop_gc t =
+  List.iter Scheduler.cancel t.gc_handles;
+  t.gc_handles <- []
+
+let gc_running t = t.gc_handles <> []
+
+let crash t i =
+  let p = proc t i in
+  if p.Process.alive then begin
+    p.Process.alive <- false;
+    Stats.incr t.rt.Runtime.stats "cluster.crashes";
+    Runtime.log t.rt ~topic:"cluster" "%a crashed" Proc_id.pp p.Process.id
+  end
+
+let alive t i = (proc t i).Process.alive
+
+(* Dead processes contribute nothing to ground truth: their objects
+   are wreckage, their roots gone. *)
+let total_objects t =
+  Array.fold_left
+    (fun acc p -> if p.Process.alive then acc + Heap.size p.Process.heap else acc)
+    0 t.rt.Runtime.procs
+
+let globally_live t =
+  (* Seeds: all local roots plus references inside in-flight messages. *)
+  let seeds =
+    Array.fold_left
+      (fun acc p ->
+        if p.Process.alive then List.rev_append (Heap.roots p.Process.heap) acc else acc)
+      [] t.rt.Runtime.procs
+  in
+  let seeds =
+    List.fold_left
+      (fun acc (m : Msg.t) -> List.rev_append (Msg.payload_refs m.Msg.payload) acc)
+      seeds
+      (Network.in_flight (net t))
+  in
+  (* Global BFS: trace within each heap, carry the remote frontier
+     across processes until a fixpoint. *)
+  let live = ref Oid.Set.empty in
+  let frontier = ref (List.fold_left (fun s o -> Oid.Set.add o s) Oid.Set.empty seeds) in
+  while not (Oid.Set.is_empty !frontier) do
+    let by_proc =
+      Oid.Set.fold
+        (fun oid acc ->
+          if Oid.Set.mem oid !live then acc
+          else
+            let owner = Proc_id.to_int (Oid.owner oid) in
+            let prev = match List.assoc_opt owner acc with Some l -> l | None -> [] in
+            (owner, oid :: prev) :: List.remove_assoc owner acc)
+        !frontier []
+    in
+    frontier := Oid.Set.empty;
+    List.iter
+      (fun (owner, oids) ->
+        let p = t.rt.Runtime.procs.(owner) in
+        if not p.Process.alive then ()
+        else
+        let { Heap.local; remote } = Heap.trace p.Process.heap ~from:oids in
+        live := Oid.Set.union !live local;
+        Oid.Set.iter
+          (fun r -> if not (Oid.Set.mem r !live) then frontier := Oid.Set.add r !frontier)
+          remote)
+      by_proc
+  done;
+  !live
+
+let garbage t =
+  let live = globally_live t in
+  Array.fold_left
+    (fun acc p ->
+      if not p.Process.alive then acc
+      else
+        Heap.fold p.Process.heap ~init:acc ~f:(fun acc obj ->
+            if Oid.Set.mem obj.Heap.oid live then acc else Oid.Set.add obj.Heap.oid acc))
+    Oid.Set.empty t.rt.Runtime.procs

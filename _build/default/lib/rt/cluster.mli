@@ -1,0 +1,79 @@
+(** A complete simulated distributed system.
+
+    Builds the processes, the network and the shared runtime, installs
+    the message dispatch, and optionally drives the periodic garbage
+    collection duties (LGC and [NewSetStubs] rounds, staggered across
+    processes so they never run in lockstep). *)
+
+open Adgc_algebra
+
+type t
+
+val create :
+  ?seed:int ->
+  ?config:Runtime.config ->
+  ?net_config:Network.config ->
+  ?trace_capacity:int ->
+  n:int ->
+  unit ->
+  t
+(** [n] processes with ids [P0 .. P(n-1)]. Default seed 42. *)
+
+val rt : t -> Runtime.t
+
+val sched : t -> Scheduler.t
+
+val net : t -> Network.t
+
+val stats : t -> Adgc_util.Stats.t
+
+val trace : t -> Adgc_util.Trace.t
+
+val proc : t -> int -> Process.t
+
+val proc_id : t -> int -> Proc_id.t
+
+val n_procs : t -> int
+
+val now : t -> int
+
+(** {1 Time control} *)
+
+val run_for : t -> int -> unit
+
+val run_until : t -> time:int -> unit
+
+val drain : ?limit:int -> t -> int
+
+(** {1 Periodic GC duties} *)
+
+val start_gc : t -> unit
+(** Install recurring LGC and stub-set rounds on every process, with
+    periods from the runtime config and per-process phase offsets. *)
+
+val stop_gc : t -> unit
+
+val gc_running : t -> bool
+
+(** {1 Failures} *)
+
+val crash : t -> int -> unit
+(** Crash-stop the process: it stops sending, receiving and performing
+    duties; its heap becomes unreachable wreckage excluded from ground
+    truth.  Scions it held at other owners are reclaimed only when
+    [failure_detection] is configured (see {!Runtime.config}). *)
+
+val alive : t -> int -> bool
+
+(** {1 Whole-system queries (omniscient; used by tests and metrics)} *)
+
+val total_objects : t -> int
+
+val globally_live : t -> Oid.Set.t
+(** Objects reachable from the union of all local roots, crossing
+    remote references, plus everything reachable from references
+    sitting inside in-flight messages.  This is ground truth — no
+    protocol state is consulted. *)
+
+val garbage : t -> Oid.Set.t
+(** All objects minus {!globally_live}. *)

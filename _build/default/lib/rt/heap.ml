@@ -1,0 +1,135 @@
+open Adgc_algebra
+
+type obj = { oid : Oid.t; mutable fields : Oid.t option array; mutable payload : int }
+
+type t = {
+  owner : Proc_id.t;
+  objs : obj Oid.Tbl.t;
+  root_set : unit Oid.Tbl.t;
+  mutable next_serial : int;
+  dirty : unit Oid.Tbl.t;
+  mutable roots_dirty : bool;
+}
+
+let create ~owner =
+  {
+    owner;
+    objs = Oid.Tbl.create 64;
+    root_set = Oid.Tbl.create 8;
+    next_serial = 0;
+    dirty = Oid.Tbl.create 16;
+    roots_dirty = false;
+  }
+
+let mark_dirty t oid = Oid.Tbl.replace t.dirty oid ()
+
+let take_dirty t =
+  let dirty = Oid.Tbl.fold (fun oid () acc -> Oid.Set.add oid acc) t.dirty Oid.Set.empty in
+  let roots_dirty = t.roots_dirty in
+  Oid.Tbl.reset t.dirty;
+  t.roots_dirty <- false;
+  (dirty, roots_dirty)
+
+let dirty_pending t = Oid.Tbl.length t.dirty
+
+let owner t = t.owner
+
+let size t = Oid.Tbl.length t.objs
+
+let alloc ?(fields = 2) ?(payload = 16) t =
+  let oid = Oid.make ~owner:t.owner ~serial:t.next_serial in
+  t.next_serial <- t.next_serial + 1;
+  let obj = { oid; fields = Array.make fields None; payload } in
+  Oid.Tbl.add t.objs oid obj;
+  obj
+
+let get t oid = Oid.Tbl.find_opt t.objs oid
+
+let get_exn t oid =
+  match get t oid with
+  | Some obj -> obj
+  | None -> invalid_arg (Format.asprintf "Heap.get_exn: %a not in heap of %a" Oid.pp oid Proc_id.pp t.owner)
+
+let mem t oid = Oid.Tbl.mem t.objs oid
+
+let set_field t obj i v =
+  if i < 0 || i >= Array.length obj.fields then
+    invalid_arg (Format.asprintf "Heap.set_field: slot %d out of range for %a" i Oid.pp obj.oid);
+  obj.fields.(i) <- v;
+  mark_dirty t obj.oid
+
+let add_ref t obj oid =
+  mark_dirty t obj.oid;
+  let n = Array.length obj.fields in
+  let rec find_empty i = if i >= n then None else if obj.fields.(i) = None then Some i else find_empty (i + 1) in
+  match find_empty 0 with
+  | Some i ->
+      obj.fields.(i) <- Some oid;
+      i
+  | None ->
+      let bigger = Array.make (Int.max 2 (2 * n)) None in
+      Array.blit obj.fields 0 bigger 0 n;
+      obj.fields <- bigger;
+      obj.fields.(n) <- Some oid;
+      n
+
+let remove_ref t obj oid =
+  mark_dirty t obj.oid;
+  let n = Array.length obj.fields in
+  let rec go i =
+    if i >= n then false
+    else
+      match obj.fields.(i) with
+      | Some o when Oid.equal o oid ->
+          obj.fields.(i) <- None;
+          true
+      | Some _ | None -> go (i + 1)
+  in
+  go 0
+
+let remove t oid = Oid.Tbl.remove t.objs oid
+
+let add_root t oid =
+  if not (Proc_id.equal (Oid.owner oid) t.owner) then
+    invalid_arg (Format.asprintf "Heap.add_root: %a is not local to %a" Oid.pp oid Proc_id.pp t.owner);
+  Oid.Tbl.replace t.root_set oid ();
+  t.roots_dirty <- true
+
+let remove_root t oid =
+  Oid.Tbl.remove t.root_set oid;
+  t.roots_dirty <- true
+
+let is_root t oid = Oid.Tbl.mem t.root_set oid
+
+let roots t = Oid.Tbl.fold (fun oid () acc -> oid :: acc) t.root_set [] |> List.sort Oid.compare
+
+let iter t f = Oid.Tbl.iter (fun _ obj -> f obj) t.objs
+
+let fold t ~init ~f = Oid.Tbl.fold (fun _ obj acc -> f acc obj) t.objs init
+
+type trace_result = { local : Oid.Set.t; remote : Oid.Set.t }
+
+let trace t ~from =
+  let local = ref Oid.Set.empty in
+  let remote = ref Oid.Set.empty in
+  let queue = Queue.create () in
+  let visit oid =
+    if Proc_id.equal (Oid.owner oid) t.owner then begin
+      if (not (Oid.Set.mem oid !local)) && Oid.Tbl.mem t.objs oid then begin
+        local := Oid.Set.add oid !local;
+        Queue.add oid queue
+      end
+    end
+    else remote := Oid.Set.add oid !remote
+  in
+  List.iter visit from;
+  while not (Queue.is_empty queue) do
+    let oid = Queue.pop queue in
+    match Oid.Tbl.find_opt t.objs oid with
+    | None -> ()
+    | Some obj ->
+        Array.iter (function None -> () | Some target -> visit target) obj.fields
+  done;
+  { local = !local; remote = !remote }
+
+let trace_all_remote t ~from = (trace t ~from).remote

@@ -1,0 +1,106 @@
+(** Per-process object heap.
+
+    Objects are records of reference slots (plus an opaque payload
+    weight used by the serialization experiments).  A slot may hold a
+    reference to a local object or to a remote one; remote references
+    are installed only by the runtime's import machinery, which does
+    the stub bookkeeping — the heap itself is policy-free.
+
+    The heap also provides the tracing primitive shared by the local
+    collector and the graph summarizer: a breadth-first walk from a
+    set of starting objects that stays inside this process and
+    reports, separately, the local objects visited and the remote
+    references encountered. *)
+
+open Adgc_algebra
+
+type obj = private {
+  oid : Oid.t;
+  mutable fields : Oid.t option array;
+  mutable payload : int;  (** simulated data weight, in abstract bytes *)
+}
+
+type t
+
+val create : owner:Proc_id.t -> t
+
+val owner : t -> Proc_id.t
+
+val size : t -> int
+(** Number of objects currently allocated. *)
+
+(** {1 Allocation and mutation} *)
+
+val alloc : ?fields:int -> ?payload:int -> t -> obj
+(** Fresh object with [fields] empty slots (default 2) and payload
+    weight (default 16). *)
+
+val get : t -> Oid.t -> obj option
+
+val get_exn : t -> Oid.t -> obj
+(** @raise Invalid_argument when absent. *)
+
+val mem : t -> Oid.t -> bool
+
+val set_field : t -> obj -> int -> Oid.t option -> unit
+(** @raise Invalid_argument on an out-of-range slot. *)
+
+val add_ref : t -> obj -> Oid.t -> int
+(** Store a reference in the first empty slot, growing the object if
+    none is free; returns the slot index used. *)
+
+val remove_ref : t -> obj -> Oid.t -> bool
+(** Clear the first slot holding exactly this reference; [false] if
+    not found. *)
+
+val remove : t -> Oid.t -> unit
+(** Used by the collector's sweep. *)
+
+(** {1 Roots} *)
+
+val add_root : t -> Oid.t -> unit
+(** The object must be local to this heap. *)
+
+val remove_root : t -> Oid.t -> unit
+
+val is_root : t -> Oid.t -> bool
+
+val roots : t -> Oid.t list
+
+(** {1 Traversal} *)
+
+val iter : t -> (obj -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> obj -> 'a) -> 'a
+
+(** {1 Mutation tracking}
+
+    Every reference mutation marks the holding object dirty and root
+    changes raise a flag; the incremental summarizer consumes this log
+    to decide which scion regions to re-trace.  Allocation alone does
+    not dirty anything (a fresh object is unreachable until linked,
+    and the link marks the holder), and neither does {!remove} (the
+    collector only removes objects no scion or root can reach, so no
+    cached region contains them). *)
+
+val take_dirty : t -> Oid.Set.t * bool
+(** Objects whose fields changed since the last call, and whether the
+    root set changed; clears the log.  Intended for a single consumer
+    per heap. *)
+
+val dirty_pending : t -> int
+(** Size of the current log (diagnostics). *)
+
+type trace_result = {
+  local : Oid.Set.t;  (** local objects reached (including the starts that exist) *)
+  remote : Oid.Set.t;  (** remote objects referenced from reached objects *)
+}
+
+val trace : t -> from:Oid.t list -> trace_result
+(** Breadth-first reachability within this heap.  Starting points that
+    are remote or absent contribute nothing.  References to local oids
+    that are absent from the heap (dangling, e.g. mid-sweep) are
+    ignored. *)
+
+val trace_all_remote : t -> from:Oid.t list -> Oid.Set.t
+(** [ (trace t ~from).remote ] — convenience. *)

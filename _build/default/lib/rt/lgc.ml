@@ -1,0 +1,45 @@
+open Adgc_algebra
+module Stats = Adgc_util.Stats
+
+type report = { live : int; swept : int; stubs_live : int; stubs_dropped : int }
+
+let run rt (p : Process.t) =
+  Stats.incr rt.Runtime.stats "lgc.runs";
+  let heap = p.Process.heap in
+  let from = Heap.roots heap @ Scion_table.protected_targets p.Process.scions in
+  let { Heap.local = live_set; remote } = Heap.trace heap ~from in
+  (* Report the trace to the paged store, if any: a full collection
+     touches every live object (experiment E17). *)
+  (match p.Process.pstore with
+  | Some store ->
+      Oid.Set.iter (Pstore.touch store) live_set
+  | None -> ());
+  (* Stub liveness. *)
+  Stub_table.mark_all_dead p.Process.stubs;
+  Oid.Set.iter (Stub_table.mark_live p.Process.stubs) remote;
+  let dropped = Stub_table.sweep p.Process.stubs in
+  List.iter (fun _ -> Stats.incr rt.Runtime.stats "dgc.stubs.dropped") dropped;
+  (* Heap sweep. *)
+  let doomed =
+    Heap.fold heap ~init:[] ~f:(fun acc obj ->
+        if Oid.Set.mem obj.Heap.oid live_set then acc else obj.Heap.oid :: acc)
+  in
+  (match rt.Runtime.on_pre_sweep with
+  | Some f when doomed <> [] -> f p.Process.id doomed
+  | Some _ | None -> ());
+  List.iter
+    (fun oid ->
+      Heap.remove heap oid;
+      (match p.Process.pstore with Some store -> Pstore.forget store oid | None -> ());
+      Stats.incr rt.Runtime.stats "lgc.swept";
+      (match rt.Runtime.on_reclaim with Some f -> f p.Process.id oid | None -> ());
+      Runtime.log rt ~topic:"lgc" "%a swept %a" Proc_id.pp p.Process.id Oid.pp oid)
+    doomed;
+  {
+    live = Heap.size heap;
+    swept = List.length doomed;
+    stubs_live = Stub_table.size p.Process.stubs;
+    stubs_dropped = List.length dropped;
+  }
+
+let collect_all rt = Array.to_list (Array.map (run rt) rt.Runtime.procs)

@@ -1,0 +1,98 @@
+open Adgc_algebra
+module Sval = Adgc_serial.Sval
+
+type payload =
+  | Rmi_request of { req_id : int; target : Oid.t; args : Oid.t list; stub_ic : int }
+  | Rmi_reply of { req_id : int; target : Oid.t; results : Oid.t list }
+  | Export_notice of { notice_id : int; target : Oid.t; new_holder : Proc_id.t }
+  | Export_ack of { notice_id : int; target : Oid.t; new_holder : Proc_id.t }
+  | New_set_stubs of { seqno : int; targets : int Oid.Map.t }
+  | Scion_probe
+  | Cdm of Cdm.t
+  | Cdm_delete of { id : Detection_id.t; scions : Ref_key.t list }
+  | Bt of Btmsg.t
+  | Hughes of Hmsg.t
+
+type t = { src : Proc_id.t; dst : Proc_id.t; sent_at : int; payload : payload }
+
+let make ~src ~dst ~sent_at payload = { src; dst; sent_at; payload }
+
+let kind = function
+  | Rmi_request _ -> "rmi_request"
+  | Rmi_reply _ -> "rmi_reply"
+  | Export_notice _ -> "export_notice"
+  | Export_ack _ -> "export_ack"
+  | New_set_stubs _ -> "new_set_stubs"
+  | Scion_probe -> "scion_probe"
+  | Cdm _ -> "cdm"
+  | Cdm_delete _ -> "cdm_delete"
+  | Bt _ -> "bt"
+  | Hughes _ -> "hughes"
+
+let payload_refs = function
+  | Rmi_request { target; args; _ } -> target :: args
+  | Rmi_reply { target; results; _ } -> target :: results
+  | Export_notice { target; _ } | Export_ack { target; _ } -> [ target ]
+  | New_set_stubs _ | Scion_probe -> []
+  | Cdm _ -> []
+  | Cdm_delete _ -> []
+  | Bt _ -> []
+  | Hughes _ -> []
+
+let oid_sval (o : Oid.t) = Sval.List [ Sval.Int (Proc_id.to_int (Oid.owner o)); Sval.Int o.Oid.serial ]
+
+let ref_sval (k : Ref_key.t) =
+  Sval.List [ Sval.Int (Proc_id.to_int k.Ref_key.src); oid_sval k.Ref_key.target ]
+
+let payload_sval = function
+  | Rmi_request { req_id; target; args; stub_ic } ->
+      Sval.Record
+        ( "rmi_request",
+          [
+            ("req_id", Sval.Int req_id);
+            ("target", oid_sval target);
+            ("args", Sval.List (List.map oid_sval args));
+            ("stub_ic", Sval.Int stub_ic);
+          ] )
+  | Rmi_reply { req_id; target; results } ->
+      Sval.Record
+        ( "rmi_reply",
+          [ ("req_id", Sval.Int req_id); ("target", oid_sval target); ("results", Sval.List (List.map oid_sval results)) ] )
+  | Export_notice { notice_id; target; new_holder } ->
+      Sval.Record
+        ( "export_notice",
+          [ ("notice_id", Sval.Int notice_id); ("target", oid_sval target); ("new_holder", Sval.Int (Proc_id.to_int new_holder)) ] )
+  | Export_ack { notice_id; target; new_holder } ->
+      Sval.Record
+        ( "export_ack",
+          [ ("notice_id", Sval.Int notice_id); ("target", oid_sval target); ("new_holder", Sval.Int (Proc_id.to_int new_holder)) ] )
+  | New_set_stubs { seqno; targets } ->
+      let entry (o, ic) = Sval.List [ oid_sval o; Sval.Int ic ] in
+      Sval.Record
+        ( "new_set_stubs",
+          [ ("seqno", Sval.Int seqno); ("targets", Sval.List (List.map entry (Oid.Map.bindings targets))) ] )
+  | Scion_probe -> Sval.Record ("scion_probe", [])
+  | Cdm cdm -> Cdm.to_sval cdm
+  | Cdm_delete { id; scions } ->
+      Sval.Record
+        ( "cdm_delete",
+          [
+            ("initiator", Sval.Int (Proc_id.to_int id.Detection_id.initiator));
+            ("seq", Sval.Int id.Detection_id.seq);
+            ("scions", Sval.List (List.map ref_sval scions));
+          ] )
+  | Bt bt -> Btmsg.to_sval bt
+  | Hughes h -> Hmsg.to_sval h
+
+let to_sval t =
+  Sval.Record
+    ( "msg",
+      [
+        ("src", Sval.Int (Proc_id.to_int t.src));
+        ("dst", Sval.Int (Proc_id.to_int t.dst));
+        ("sent_at", Sval.Int t.sent_at);
+        ("payload", payload_sval t.payload);
+      ] )
+
+let pp ppf t =
+  Format.fprintf ppf "%a->%a@%d %s" Proc_id.pp t.src Proc_id.pp t.dst t.sent_at (kind t.payload)

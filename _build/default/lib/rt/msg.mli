@@ -1,0 +1,73 @@
+(** Messages exchanged between processes.
+
+    Everything that crosses a process boundary is one of these
+    payloads inside an envelope; the network can delay, drop and
+    reorder envelopes arbitrarily, and every protocol in this
+    repository is written to stay safe under that (the paper's
+    "tolerates message loss"). *)
+
+open Adgc_algebra
+
+type payload =
+  | Rmi_request of {
+      req_id : int;
+      target : Oid.t;  (** invoked object, owned by the destination *)
+      args : Oid.t list;  (** references exported with the call *)
+      stub_ic : int;
+          (** the caller's invocation counter for [target] after this
+              call's bump, piggy-backed as the paper prescribes; the
+              owner's scion counter adopts heard values (max), so the
+              two ends converge without ever double-counting in-flight
+              or lost invocations *)
+    }
+  | Rmi_reply of {
+      req_id : int;
+      target : Oid.t;  (** the object that was invoked *)
+      results : Oid.t list;  (** references exported with the reply *)
+    }
+  | Export_notice of {
+      notice_id : int;
+      target : Oid.t;  (** object owned by the destination *)
+      new_holder : Proc_id.t;  (** process about to receive the reference *)
+    }
+      (** Third-party export handshake: the sender is forwarding a
+          reference to [target] to [new_holder]; the owner must create
+          a (pinned) scion before the reference lands. *)
+  | Export_ack of { notice_id : int; target : Oid.t; new_holder : Proc_id.t }
+  | New_set_stubs of {
+      seqno : int;  (** per (sender, destination) sequence number *)
+      targets : int Oid.Map.t;
+          (** objects of the destination the sender still references,
+              with the stub-side invocation counter of each — the
+              counter lets the owner re-synchronize a scion whose
+              invocations were lost in transit (a lost request bumps
+              only the stub side and would otherwise wedge the IC
+              safety check forever) *)
+    }
+  | Scion_probe
+      (** Owner-driven keepalive: "I still hold scions for you but have
+          not heard a stub set in a while — send one."  Makes the
+          protocol immune to losing the final (empty) stub set. *)
+  | Cdm of Cdm.t
+  | Cdm_delete of { id : Detection_id.t; scions : Ref_key.t list }
+      (** Broadcast deletion mode: the concluding process tells other
+          owners which of their scions were proven part of the cycle. *)
+  | Bt of Btmsg.t  (** back-tracing baseline traffic *)
+  | Hughes of Hmsg.t  (** timestamp-propagation baseline traffic *)
+
+type t = { src : Proc_id.t; dst : Proc_id.t; sent_at : int; payload : payload }
+
+val make : src:Proc_id.t -> dst:Proc_id.t -> sent_at:int -> payload -> t
+
+val kind : payload -> string
+(** Short tag for statistics counters ("rmi_request", "cdm", ...). *)
+
+val payload_refs : payload -> Oid.t list
+(** Object references carried by the payload — what an in-flight
+    message keeps reachable.  Used by the omniscient ground-truth
+    checker. *)
+
+val to_sval : t -> Adgc_serial.Sval.t
+(** Wire representation used for byte accounting. *)
+
+val pp : Format.formatter -> t -> unit

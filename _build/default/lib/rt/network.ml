@@ -1,0 +1,88 @@
+open Adgc_algebra
+module Rng = Adgc_util.Rng
+module Stats = Adgc_util.Stats
+
+type config = {
+  mutable latency_min : int;
+  mutable latency_max : int;
+  mutable drop_prob : float;
+  mutable account_bytes : bool;
+}
+
+let default_config () = { latency_min = 5; latency_max = 25; drop_prob = 0.0; account_bytes = false }
+
+type t = {
+  sched : Scheduler.t;
+  rng : Rng.t;
+  stats : Stats.t;
+  config : config;
+  mutable deliver : (Msg.t -> unit) option;
+  in_flight : (int, Msg.t) Hashtbl.t;
+  mutable next_id : int;
+  blocked : (int * int, unit) Hashtbl.t;
+}
+
+let create ~sched ~rng ~stats ~config =
+  {
+    sched;
+    rng;
+    stats;
+    config;
+    deliver = None;
+    in_flight = Hashtbl.create 64;
+    next_id = 0;
+    blocked = Hashtbl.create 4;
+  }
+
+let config t = t.config
+
+let set_deliver t f = t.deliver <- Some f
+
+let link_key a b = (Proc_id.to_int a, Proc_id.to_int b)
+
+let block_link t a b = Hashtbl.replace t.blocked (link_key a b) ()
+
+let unblock_link t a b = Hashtbl.remove t.blocked (link_key a b)
+
+let account t (msg : Msg.t) =
+  if t.config.account_bytes then begin
+    let bytes = String.length (Adgc_serial.Net_codec.encode (Msg.to_sval msg)) in
+    Stats.add t.stats "net.bytes" bytes;
+    Stats.add t.stats ("net.bytes." ^ Msg.kind msg.payload) bytes
+  end
+
+let send t (msg : Msg.t) =
+  let deliver =
+    match t.deliver with
+    | Some f -> f
+    | None -> invalid_arg "Network.send: no dispatch function installed"
+  in
+  Stats.incr t.stats "net.msg.sent";
+  Stats.incr t.stats ("net.msg.sent." ^ Msg.kind msg.payload);
+  account t msg;
+  let dropped =
+    Hashtbl.mem t.blocked (link_key msg.src msg.dst)
+    || Rng.bernoulli t.rng t.config.drop_prob
+  in
+  if dropped then begin
+    Stats.incr t.stats "net.msg.dropped";
+    Stats.incr t.stats ("net.msg.dropped." ^ Msg.kind msg.payload)
+  end
+  else begin
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    Hashtbl.replace t.in_flight id msg;
+    let cfg = t.config in
+    let latency =
+      if cfg.latency_max <= cfg.latency_min then cfg.latency_min
+      else Rng.int_in t.rng cfg.latency_min cfg.latency_max
+    in
+    Scheduler.schedule_after t.sched ~delay:latency (fun () ->
+        Hashtbl.remove t.in_flight id;
+        Stats.incr t.stats "net.msg.delivered";
+        deliver msg)
+  end
+
+let in_flight t = Hashtbl.fold (fun _ m acc -> m :: acc) t.in_flight []
+
+let in_flight_count t = Hashtbl.length t.in_flight

@@ -1,0 +1,52 @@
+(** The message transport.
+
+    Point-to-point, unordered, unreliable: each message is delivered
+    after a uniformly drawn latency, dropped with a configurable
+    probability, or blackholed while its link is partitioned.  All
+    protocols above are required to tolerate this; the tests inject
+    loss and partitions aggressively.
+
+    The network keeps an explicit registry of in-flight messages so
+    the omniscient ground-truth checker can treat references inside
+    undelivered messages as reachable. *)
+
+open Adgc_algebra
+
+type config = {
+  mutable latency_min : int;
+  mutable latency_max : int;  (** inclusive; must be [>= latency_min] *)
+  mutable drop_prob : float;
+  mutable account_bytes : bool;
+      (** when set, every sent message is actually encoded with the
+          compact codec and its size recorded (slower; benches that
+          report bytes enable it) *)
+}
+
+val default_config : unit -> config
+(** latency 5..25 ticks, no drops, no byte accounting. *)
+
+type t
+
+val create :
+  sched:Scheduler.t -> rng:Adgc_util.Rng.t -> stats:Adgc_util.Stats.t -> config:config -> t
+
+val config : t -> config
+
+val set_deliver : t -> (Msg.t -> unit) -> unit
+(** Install the cluster's dispatch function. Must be called before the
+    first [send]. *)
+
+val send : t -> Msg.t -> unit
+(** Draw latency/drop fate and schedule delivery.  Self-addressed
+    messages are delivered with latency too (a process's DGC talks to
+    itself through the same paths). *)
+
+val block_link : t -> Proc_id.t -> Proc_id.t -> unit
+(** Drop everything subsequently sent from the first to the second
+    process (one direction). *)
+
+val unblock_link : t -> Proc_id.t -> Proc_id.t -> unit
+
+val in_flight : t -> Msg.t list
+
+val in_flight_count : t -> int

@@ -1,0 +1,44 @@
+open Adgc_algebra
+
+type t = {
+  id : Proc_id.t;
+  heap : Heap.t;
+  stubs : Stub_table.t;
+  scions : Scion_table.t;
+  rng : Adgc_util.Rng.t;
+  mutable alive : bool;
+  out_seqnos : (int, int) Hashtbl.t;
+  mutable set_recipients : Proc_id.Set.t;
+  mutable on_cdm : (Cdm.t -> unit) option;
+  mutable on_cdm_delete : (Detection_id.t -> Ref_key.t list -> unit) option;
+  mutable on_bt : (src:Proc_id.t -> Btmsg.t -> unit) option;
+  mutable on_hughes : (src:Proc_id.t -> Hmsg.t -> unit) option;
+  mutable pstore : Pstore.t option;
+}
+
+let create ~id ~rng =
+  {
+    id;
+    heap = Heap.create ~owner:id;
+    stubs = Stub_table.create ~owner:id;
+    scions = Scion_table.create ~owner:id;
+    rng;
+    alive = true;
+    out_seqnos = Hashtbl.create 8;
+    set_recipients = Proc_id.Set.empty;
+    on_cdm = None;
+    on_cdm_delete = None;
+    on_bt = None;
+    on_hughes = None;
+    pstore = None;
+  }
+
+let next_out_seqno t ~dst =
+  let key = Proc_id.to_int dst in
+  let next = match Hashtbl.find_opt t.out_seqnos key with Some s -> s + 1 | None -> 0 in
+  Hashtbl.replace t.out_seqnos key next;
+  next
+
+let pp ppf t =
+  Format.fprintf ppf "%a[heap=%d stubs=%d scions=%d]" Proc_id.pp t.id (Heap.size t.heap)
+    (Stub_table.size t.stubs) (Scion_table.size t.scions)

@@ -1,0 +1,42 @@
+(** One participant of the distributed system.
+
+    A process bundles its heap, its DGC tables and the handler hooks
+    through which pluggable components (the cycle detector, the
+    back-tracing baseline) receive their traffic.  The protocol logic
+    itself lives in {!Reflist}, {!Rmi} and {!Lgc}, driven through the
+    shared {!Runtime} context. *)
+
+open Adgc_algebra
+
+type t = {
+  id : Proc_id.t;
+  heap : Heap.t;
+  stubs : Stub_table.t;
+  scions : Scion_table.t;
+  rng : Adgc_util.Rng.t;
+  mutable alive : bool;
+      (** crash-stop flag: a dead process sends and receives nothing
+          and performs no duties; its state is unreachable wreckage *)
+  (* Reference-listing state *)
+  out_seqnos : (int, int) Hashtbl.t;  (** next NewSetStubs seqno per destination *)
+  mutable set_recipients : Proc_id.Set.t;
+      (** owners that received a non-empty stub set last round (they
+          get one trailing, possibly empty, set) *)
+  (* Detector hooks *)
+  mutable on_cdm : (Cdm.t -> unit) option;
+  mutable on_cdm_delete : (Detection_id.t -> Ref_key.t list -> unit) option;
+  mutable on_bt : (src:Proc_id.t -> Btmsg.t -> unit) option;
+  mutable on_hughes : (src:Proc_id.t -> Hmsg.t -> unit) option;
+  mutable pstore : Pstore.t option;
+      (** optional paged persistent store; collector duties report
+          their object traversals to it (experiment E17) *)
+}
+
+val create : id:Proc_id.t -> rng:Adgc_util.Rng.t -> t
+
+val next_out_seqno : t -> dst:Proc_id.t -> int
+(** Increment and return the NewSetStubs sequence number for that
+    destination. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: heap size, stub/scion counts. *)

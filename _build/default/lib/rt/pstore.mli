@@ -1,0 +1,48 @@
+(** Paged persistent object store (one per process, optional).
+
+    The paper's introduction motivates complete DGC with persistent
+    distributed stores: retained garbage is not just disk space —
+    "storage management, object loading on primary memory, object
+    marshalling, etc. suffer performance degradations with the extra
+    load imposed by the increase of garbage."  This substrate makes
+    that measurable: each object is either {e resident} or {e on
+    disk}; touching a non-resident object costs a load, and residency
+    is bounded by a capacity with LRU eviction.  Every collector duty
+    that walks objects (LGC trace, summarization) touches them, so a
+    heap bloated with garbage thrashes the store — experiment E17.
+
+    The store tracks residency and IO counts only; object contents
+    stay in the heap (the simulator's single address space).  Loads
+    cost no simulated time — they are reported as counters, the
+    standard proxy when the paper's platform gives no IO model. *)
+
+open Adgc_algebra
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 256) — resident objects before eviction.
+    Install on a process with [p.Process.pstore <- Some store]; from
+    then on {!Lgc.run} reports its traversals here. *)
+
+val touch : t -> Oid.t -> unit
+(** Access one object: a hit if resident, otherwise a load (evicting
+    the least recently used resident if at capacity). *)
+
+val touch_many : t -> Oid.t list -> unit
+
+val forget : t -> Oid.t -> unit
+(** The object was reclaimed: drop it from the store. *)
+
+val resident : t -> Oid.t -> bool
+
+val resident_count : t -> int
+
+val loads : t -> int
+(** Total loads performed (the IO cost proxy). *)
+
+val hits : t -> int
+
+val evictions : t -> int
+
+val reset_counters : t -> unit

@@ -1,0 +1,158 @@
+open Adgc_algebra
+module Stats = Adgc_util.Stats
+
+let import_ref rt ~at oid =
+  if not (Proc_id.equal (Oid.owner oid) at.Process.id) then begin
+    let existed = Stub_table.mem at.Process.stubs oid in
+    ignore (Stub_table.ensure at.Process.stubs ~now:(Runtime.now rt) oid);
+    if not existed then Stats.incr rt.Runtime.stats "dgc.stubs.created"
+  end
+
+let rec retry_notice rt ~notice_id =
+  match Hashtbl.find_opt rt.Runtime.pending_notices notice_id with
+  | None -> ()
+  | Some pending ->
+      Stats.incr rt.Runtime.stats "reflist.notice_retries";
+      Runtime.send rt ~src:pending.Runtime.exporter
+        ~dst:(Oid.owner pending.Runtime.notice_target)
+        (Msg.Export_notice
+           {
+             notice_id;
+             target = pending.Runtime.notice_target;
+             new_holder = pending.Runtime.new_holder;
+           });
+      Scheduler.schedule_after rt.Runtime.sched ~delay:rt.Runtime.config.export_retry_delay
+        (fun () -> retry_notice rt ~notice_id)
+
+let export_ref rt ~(from_ : Process.t) ~to_ oid =
+  let owner = Oid.owner oid in
+  if Proc_id.equal owner to_ then ()
+  else if Proc_id.equal owner from_.Process.id then begin
+    (* Owner-side export: create the (unconfirmed) scion synchronously. *)
+    let key = Ref_key.make ~src:to_ ~target:oid in
+    if not (Scion_table.mem from_.Process.scions key) then begin
+      ignore (Scion_table.ensure from_.Process.scions ~now:(Runtime.now rt) key : Scion_table.entry);
+      Stats.incr rt.Runtime.stats "dgc.scions.created"
+    end
+  end
+  else begin
+    (* Third-party export: pin our stub, notify the owner, retry until
+       acknowledged. *)
+    if not (Stub_table.mem from_.Process.stubs oid) then
+      invalid_arg
+        (Format.asprintf "Reflist.export_ref: %a exports %a without holding a stub" Proc_id.pp
+           from_.Process.id Oid.pp oid);
+    Stub_table.pin from_.Process.stubs ~now:(Runtime.now rt) oid;
+    let notice_id = Runtime.fresh_notice_id rt in
+    Hashtbl.replace rt.Runtime.pending_notices notice_id
+      { Runtime.exporter = from_.Process.id; notice_target = oid; new_holder = to_ };
+    Stats.incr rt.Runtime.stats "reflist.notices_sent";
+    Runtime.send rt ~src:from_.Process.id ~dst:owner
+      (Msg.Export_notice { notice_id; target = oid; new_holder = to_ });
+    Scheduler.schedule_after rt.Runtime.sched ~delay:rt.Runtime.config.export_retry_delay
+      (fun () -> retry_notice rt ~notice_id)
+  end
+
+let handle_export_notice rt ~(at : Process.t) ~src ~notice_id ~target ~new_holder =
+  if Heap.mem at.Process.heap target then begin
+    let key = Ref_key.make ~src:new_holder ~target in
+    if not (Scion_table.mem at.Process.scions key) then begin
+      ignore (Scion_table.ensure at.Process.scions ~now:(Runtime.now rt) key : Scion_table.entry);
+      Stats.incr rt.Runtime.stats "dgc.scions.created"
+    end
+  end
+  else
+    (* The exporter violated the pinning discipline, or the notice
+       outlived the object; acknowledge anyway so it stops retrying. *)
+    Stats.incr rt.Runtime.stats "reflist.notice_dead_target";
+  Runtime.send rt ~src:at.Process.id ~dst:src
+    (Msg.Export_ack { notice_id; target; new_holder })
+
+let handle_export_ack rt ~(at : Process.t) ~notice_id =
+  match Hashtbl.find_opt rt.Runtime.pending_notices notice_id with
+  | None -> () (* duplicate ack *)
+  | Some pending ->
+      Hashtbl.remove rt.Runtime.pending_notices notice_id;
+      Stub_table.unpin at.Process.stubs pending.Runtime.notice_target
+
+let stub_groups (p : Process.t) =
+  List.fold_left
+    (fun acc (target, ic) ->
+      let owner = Oid.owner target in
+      let prev = Option.value ~default:Oid.Map.empty (Proc_id.Map.find_opt owner acc) in
+      Proc_id.Map.add owner (Oid.Map.add target ic prev) acc)
+    Proc_id.Map.empty
+    (Stub_table.advertised p.Process.stubs)
+
+let send_set_to rt (p : Process.t) ~dst ~targets =
+  let seqno = Process.next_out_seqno p ~dst in
+  Stats.incr rt.Runtime.stats "reflist.sets_sent";
+  Runtime.send rt ~src:p.Process.id ~dst (Msg.New_set_stubs { seqno; targets })
+
+let send_new_sets rt (p : Process.t) =
+  let groups = stub_groups p in
+  let current = Proc_id.Map.fold (fun owner _ acc -> Proc_id.Set.add owner acc) groups Proc_id.Set.empty in
+  let all = Proc_id.Set.union current p.Process.set_recipients in
+  Proc_id.Set.iter
+    (fun dst ->
+      let targets = Option.value ~default:Oid.Map.empty (Proc_id.Map.find_opt dst groups) in
+      send_set_to rt p ~dst ~targets)
+    all;
+  p.Process.set_recipients <- current;
+  Stub_table.clear_fresh p.Process.stubs
+
+let probe_idle_scions rt (p : Process.t) ~threshold =
+  List.iter
+    (fun holder ->
+      Stats.incr rt.Runtime.stats "reflist.probes_sent";
+      Runtime.send rt ~src:p.Process.id ~dst:holder Msg.Scion_probe)
+    (Scion_table.idle_sources p.Process.scions ~now:(Runtime.now rt) ~threshold)
+
+let reap_dead_holders rt (p : Process.t) =
+  if rt.Runtime.config.failure_detection then
+    List.iter
+      (fun holder ->
+        let deleted = Scion_table.delete_from p.Process.scions holder in
+        if deleted <> [] then begin
+          Stats.add rt.Runtime.stats "reflist.scions_reaped" (List.length deleted);
+          Runtime.log rt ~topic:"reflist" "%a declared %a dead, %d scions reaped" Proc_id.pp
+            p.Process.id Proc_id.pp holder (List.length deleted)
+        end)
+      (Scion_table.idle_sources p.Process.scions ~now:(Runtime.now rt)
+         ~threshold:rt.Runtime.config.holder_silence_limit)
+
+let handle_probe rt ~(at : Process.t) ~src =
+  (* Answer with a fresh stub set for the prober, listing whatever we
+     still reference there (possibly nothing). *)
+  let groups = stub_groups at in
+  let targets = Option.value ~default:Oid.Map.empty (Proc_id.Map.find_opt src groups) in
+  send_set_to rt at ~dst:src ~targets
+
+let handle_new_set rt ~(at : Process.t) ~src ~seqno ~targets =
+  let result =
+    Scion_table.apply_new_set ~grace:rt.Runtime.config.scion_grace at.Process.scions
+      ~now:(Runtime.now rt) ~src ~seqno ~targets
+  in
+  if result.Scion_table.stale then Stats.incr rt.Runtime.stats "reflist.sets_stale"
+  else begin
+    List.iter
+      (fun key ->
+        Stats.incr rt.Runtime.stats "dgc.scions.deleted";
+        Runtime.log rt ~topic:"reflist" "scion deleted %a at %a" Ref_key.pp key Proc_id.pp
+          at.Process.id)
+      result.Scion_table.deleted;
+    (* Healing: the holder advertises an object we have no scion for
+       (export notice lost).  Recreate the scion if the object is
+       still with us; it arrives already confirmed since the holder
+       just listed it. *)
+    List.iter
+      (fun (target, stub_ic) ->
+        if Heap.mem at.Process.heap target then begin
+          Stats.incr rt.Runtime.stats "reflist.scions_healed";
+          let key = Ref_key.make ~src ~target in
+          let entry = Scion_table.ensure at.Process.scions ~now:(Runtime.now rt) key in
+          Scion_table.confirm entry;
+          Scion_table.sync_ic entry stub_ic
+        end)
+      result.Scion_table.unknown
+  end

@@ -1,0 +1,112 @@
+open Adgc_algebra
+module Stats = Adgc_util.Stats
+
+let noop_behavior _rt _p ~target:_ ~args:_ = []
+
+(* When [rmi_marshal] is on, do the real serialization work an RMI
+   implies at each end: encode the descriptor and decode it back
+   (marshal at the sender, unmarshal at the receiver). *)
+let marshal_work rt (msg : Msg.t) =
+  if rt.Runtime.config.rmi_marshal then begin
+    let encoded = Adgc_serial.Net_codec.encode (Msg.to_sval msg) in
+    ignore (Adgc_serial.Net_codec.decode encoded : Adgc_serial.Sval.t)
+  end
+
+let release_pins rt req_id =
+  match Hashtbl.find_opt rt.Runtime.pending_calls req_id with
+  | None -> None
+  | Some pending ->
+      Hashtbl.remove rt.Runtime.pending_calls req_id;
+      let p = Runtime.proc rt pending.Runtime.caller in
+      List.iter (Stub_table.unpin p.Process.stubs) pending.Runtime.pinned;
+      Some pending
+
+let call rt ~src ~target ?(args = []) ?(behavior = noop_behavior) ?on_reply () =
+  let p = Runtime.proc rt src in
+  if Proc_id.equal (Oid.owner target) src then
+    invalid_arg (Format.asprintf "Rmi.call: %a is local to %a" Oid.pp target Proc_id.pp src);
+  if rt.Runtime.config.dgc_enabled && not (Stub_table.mem p.Process.stubs target) then
+    invalid_arg
+      (Format.asprintf "Rmi.call: %a holds no stub for %a" Proc_id.pp src Oid.pp target);
+  Stats.incr rt.Runtime.stats "rmi.calls";
+  let dgc = rt.Runtime.config.dgc_enabled in
+  (* Bump the stub-side counter and piggy-back the new value on the
+     request, as the paper prescribes (§3.2). *)
+  let stub_ic = if dgc then Stub_table.bump_ic p.Process.stubs target else 0 in
+  (* Pin everything the call references until the reply (or timeout). *)
+  let now = Runtime.now rt in
+  let remote_args = List.filter (fun a -> not (Proc_id.equal (Oid.owner a) src)) args in
+  let pinned = if dgc then target :: remote_args else [] in
+  List.iter (Stub_table.pin p.Process.stubs ~now) pinned;
+  if dgc then List.iter (fun a -> Reflist.export_ref rt ~from_:p ~to_:(Oid.owner target) a) args;
+  let req_id = Runtime.fresh_req_id rt in
+  Hashtbl.replace rt.Runtime.behaviors req_id behavior;
+  Hashtbl.replace rt.Runtime.pending_calls req_id
+    { Runtime.caller = src; call_target = target; pinned; on_reply };
+  (* The marshalling work Table 1's base cost consists of. *)
+  marshal_work rt
+    (Msg.make ~src ~dst:(Oid.owner target) ~sent_at:now
+       (Msg.Rmi_request { req_id; target; args; stub_ic }));
+  Scheduler.schedule_after rt.Runtime.sched ~delay:rt.Runtime.config.rmi_pin_timeout (fun () ->
+      match release_pins rt req_id with
+      | Some _ -> Stats.incr rt.Runtime.stats "rmi.pin_timeouts"
+      | None -> ());
+  Runtime.send rt ~src ~dst:(Oid.owner target) (Msg.Rmi_request { req_id; target; args; stub_ic })
+
+let handle_request rt ~(at : Process.t) ~src ~req_id ~target ~args ~stub_ic =
+  (* Unmarshal the incoming request. *)
+  marshal_work rt
+    (Msg.make ~src ~dst:at.Process.id ~sent_at:(Runtime.now rt)
+       (Msg.Rmi_request { req_id; target; args; stub_ic }));
+  let behavior =
+    match Hashtbl.find_opt rt.Runtime.behaviors req_id with
+    | Some b ->
+        Hashtbl.remove rt.Runtime.behaviors req_id;
+        b
+    | None -> noop_behavior
+  in
+  if not (Heap.mem at.Process.heap target) then begin
+    (* The target was collected before the request arrived: an
+       application-level dangling call.  Reply empty so the caller
+       releases its pins. *)
+    Stats.incr rt.Runtime.stats "rmi.dangling";
+    Runtime.send rt ~src:at.Process.id ~dst:src (Msg.Rmi_reply { req_id; target; results = [] })
+  end
+  else begin
+    Stats.incr rt.Runtime.stats "rmi.served";
+    let dgc = rt.Runtime.config.dgc_enabled in
+    (* Adopt the piggy-backed counter on the scion side of the
+       traversed reference; heal the scion first if an export notice
+       was lost. *)
+    if dgc then begin
+      let key = Ref_key.make ~src ~target in
+      ignore (Scion_table.ensure at.Process.scions ~now:(Runtime.now rt) key : Scion_table.entry);
+      Scion_table.observe_invocation at.Process.scions ~now:(Runtime.now rt) key ~stub_ic;
+      List.iter (fun a -> Reflist.import_ref rt ~at a) args
+    end;
+    let results = behavior rt at ~target ~args in
+    if dgc then List.iter (fun r -> Reflist.export_ref rt ~from_:at ~to_:src r) results;
+    (* Marshal the outgoing reply. *)
+    marshal_work rt
+      (Msg.make ~src:at.Process.id ~dst:src ~sent_at:(Runtime.now rt)
+         (Msg.Rmi_reply { req_id; target; results }));
+    Runtime.send rt ~src:at.Process.id ~dst:src (Msg.Rmi_reply { req_id; target; results })
+  end
+
+let handle_reply rt ~(at : Process.t) ~req_id ~target ~results =
+  Stats.incr rt.Runtime.stats "rmi.replies";
+  marshal_work rt
+    (Msg.make ~src:at.Process.id ~dst:at.Process.id ~sent_at:(Runtime.now rt)
+       (Msg.Rmi_reply { req_id; target; results }));
+  let pending = release_pins rt req_id in
+  if rt.Runtime.config.dgc_enabled then begin
+    (* count_replies: the reply is an invocation through the same
+       reference in the other direction — bump the stub side here; the
+       owner learns the new value from the next request or stub set. *)
+    if rt.Runtime.config.count_replies && Stub_table.mem at.Process.stubs target then
+      ignore (Stub_table.bump_ic at.Process.stubs target : int);
+    List.iter (fun r -> Reflist.import_ref rt ~at r) results
+  end;
+  match pending with
+  | Some { Runtime.on_reply = Some k; _ } -> k results
+  | Some { Runtime.on_reply = None; _ } | None -> ()

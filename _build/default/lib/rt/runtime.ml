@@ -1,0 +1,100 @@
+open Adgc_algebra
+
+type config = {
+  mutable dgc_enabled : bool;
+  mutable count_replies : bool;
+  mutable export_retry_delay : int;
+  mutable rmi_pin_timeout : int;
+  mutable rmi_marshal : bool;
+  mutable lgc_period : int;
+  mutable new_set_period : int;
+  mutable scion_grace : int;
+  mutable failure_detection : bool;
+  mutable holder_silence_limit : int;
+}
+
+let default_config () =
+  {
+    dgc_enabled = true;
+    count_replies = false;
+    export_retry_delay = 100;
+    rmi_pin_timeout = 5_000;
+    rmi_marshal = false;
+    lgc_period = 1_000;
+    new_set_period = 1_500;
+    scion_grace = 10_000;
+    failure_detection = false;
+    holder_silence_limit = 30_000;
+  }
+
+type t = {
+  sched : Scheduler.t;
+  net : Network.t;
+  procs : Process.t array;
+  rng : Adgc_util.Rng.t;
+  stats : Adgc_util.Stats.t;
+  trace : Adgc_util.Trace.t;
+  config : config;
+  behaviors : (int, behavior) Hashtbl.t;
+  pending_calls : (int, pending_call) Hashtbl.t;
+  pending_notices : (int, pending_notice) Hashtbl.t;
+  mutable next_req_id : int;
+  mutable next_notice_id : int;
+  mutable on_reclaim : (Proc_id.t -> Oid.t -> unit) option;
+  mutable on_pre_sweep : (Proc_id.t -> Oid.t list -> unit) option;
+}
+
+and behavior = t -> Process.t -> target:Oid.t -> args:Oid.t list -> Oid.t list
+
+and pending_call = {
+  caller : Proc_id.t;
+  call_target : Oid.t;
+  pinned : Oid.t list;
+  on_reply : (Oid.t list -> unit) option;
+}
+
+and pending_notice = { exporter : Proc_id.t; notice_target : Oid.t; new_holder : Proc_id.t }
+
+let create ~sched ~net ~procs ~rng ~stats ~trace ~config =
+  {
+    sched;
+    net;
+    procs;
+    rng;
+    stats;
+    trace;
+    config;
+    behaviors = Hashtbl.create 32;
+    pending_calls = Hashtbl.create 32;
+    pending_notices = Hashtbl.create 32;
+    next_req_id = 0;
+    next_notice_id = 0;
+    on_reclaim = None;
+    on_pre_sweep = None;
+  }
+
+let proc t id = t.procs.(Proc_id.to_int id)
+
+let proc_count t = Array.length t.procs
+
+let now t = Scheduler.now t.sched
+
+let log t ~topic fmt = Adgc_util.Trace.addf t.trace ~time:(now t) ~topic fmt
+
+let fresh_req_id t =
+  let id = t.next_req_id in
+  t.next_req_id <- id + 1;
+  id
+
+let fresh_notice_id t =
+  let id = t.next_notice_id in
+  t.next_notice_id <- id + 1;
+  id
+
+let send t ~src ~dst payload =
+  (* Crash-stop: the dead neither speak nor listen.  Receive-side
+     filtering happens again at dispatch so a crash mid-flight also
+     silences delivery. *)
+  if (proc t src).Process.alive && (proc t dst).Process.alive then
+    Network.send t.net (Msg.make ~src ~dst ~sent_at:(now t) payload)
+  else Adgc_util.Stats.incr t.stats "net.msg.dead_endpoint"

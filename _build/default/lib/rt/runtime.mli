@@ -1,0 +1,107 @@
+(** Shared context threading the simulator's pieces together.
+
+    {!Reflist}, {!Rmi}, {!Lgc} and the detectors all operate on this
+    record; {!Cluster} builds it and dispatches incoming messages to
+    the right handler. *)
+
+open Adgc_algebra
+
+type config = {
+  mutable dgc_enabled : bool;
+      (** master switch for the reference-listing bookkeeping on the
+          RMI path (stub/scion creation, pins, counters).  Disabling
+          it models the original platform without any DGC — the
+          baseline of the paper's Table 1.  Marshalling and message
+          traffic are unaffected, so the comparison isolates the DGC
+          overhead. *)
+  mutable count_replies : bool;
+      (** bump the invocation counters on RMI replies too (the paper
+          allows either; default off) *)
+  mutable export_retry_delay : int;
+      (** delay between retransmissions of an unacknowledged
+          [Export_notice] *)
+  mutable rmi_pin_timeout : int;
+      (** after this long, pins taken for an RMI whose reply never
+          arrived are dropped (limits floating garbage under loss) *)
+  mutable rmi_marshal : bool;
+      (** marshal RMI argument descriptors through the compact codec
+          on the caller (the real work Table 1's base cost measures) *)
+  mutable lgc_period : int;
+  mutable new_set_period : int;
+  mutable scion_grace : int;
+      (** how long an unconfirmed scion is protected from stub sets
+          that do not list it; must exceed the maximum message
+          lifetime plus one advertisement period (see
+          {!Scion_table.apply_new_set}) *)
+  mutable failure_detection : bool;
+      (** reclaim scions whose holder has been silent (no stub set,
+          despite probes) for {!field:holder_silence_limit} ticks —
+          lease-like semantics for crash-stop failures.  UNSAFE under
+          false suspicion: a partition outlasting the limit reclaims
+          objects a live-but-unreachable holder still references; the
+          tests demonstrate both directions of the trade-off. *)
+  mutable holder_silence_limit : int;
+}
+
+val default_config : unit -> config
+
+type t = {
+  sched : Scheduler.t;
+  net : Network.t;
+  procs : Process.t array;
+  rng : Adgc_util.Rng.t;
+  stats : Adgc_util.Stats.t;
+  trace : Adgc_util.Trace.t;
+  config : config;
+  behaviors : (int, behavior) Hashtbl.t;  (** pending RMI bodies, by request id *)
+  pending_calls : (int, pending_call) Hashtbl.t;  (** caller-side in-flight RMIs *)
+  pending_notices : (int, pending_notice) Hashtbl.t;
+      (** third-party export handshakes awaiting acknowledgement *)
+  mutable next_req_id : int;
+  mutable next_notice_id : int;
+  mutable on_reclaim : (Proc_id.t -> Oid.t -> unit) option;
+      (** called for every object swept by any LGC (test hook) *)
+  mutable on_pre_sweep : (Proc_id.t -> Oid.t list -> unit) option;
+      (** called with the full doomed list before an LGC removes
+          anything, while every heap is still intact — the safety
+          checker computes ground truth here *)
+}
+
+and behavior = t -> Process.t -> target:Oid.t -> args:Oid.t list -> Oid.t list
+(** The body run at the callee: receives the callee process and the
+    imported argument references; returns the references to ship back
+    in the reply. *)
+
+and pending_call = {
+  caller : Proc_id.t;
+  call_target : Oid.t;
+  pinned : Oid.t list;  (** stubs pinned at the caller for this call *)
+  on_reply : (Oid.t list -> unit) option;
+}
+
+and pending_notice = { exporter : Proc_id.t; notice_target : Oid.t; new_holder : Proc_id.t }
+
+val create :
+  sched:Scheduler.t ->
+  net:Network.t ->
+  procs:Process.t array ->
+  rng:Adgc_util.Rng.t ->
+  stats:Adgc_util.Stats.t ->
+  trace:Adgc_util.Trace.t ->
+  config:config ->
+  t
+
+val proc : t -> Proc_id.t -> Process.t
+
+val proc_count : t -> int
+
+val now : t -> int
+
+val log : t -> topic:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Append to the trace buffer, stamped with simulated time. *)
+
+val fresh_req_id : t -> int
+
+val fresh_notice_id : t -> int
+
+val send : t -> src:Proc_id.t -> dst:Proc_id.t -> Msg.payload -> unit

@@ -1,0 +1,62 @@
+module Heap_queue = Adgc_util.Heap_queue
+
+type t = { mutable now : int; queue : (int, unit -> unit) Heap_queue.t }
+
+let create () = { now = 0; queue = Heap_queue.create ~compare:Int.compare }
+
+let now t = t.now
+
+let schedule_at t ~time f =
+  if time < t.now then invalid_arg "Scheduler.schedule_at: time is in the past";
+  Heap_queue.push t.queue time f
+
+let schedule_after t ~delay f =
+  if delay < 0 then invalid_arg "Scheduler.schedule_after: negative delay";
+  Heap_queue.push t.queue (t.now + delay) f
+
+let pending t = Heap_queue.length t.queue
+
+let is_idle t = Heap_queue.is_empty t.queue
+
+let run_next t =
+  match Heap_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.now <- time;
+      f ();
+      true
+
+let run_until t ~time =
+  let continue = ref true in
+  while !continue do
+    match Heap_queue.peek t.queue with
+    | Some (event_time, _) when event_time <= time -> ignore (run_next t)
+    | Some _ | None -> continue := false
+  done;
+  if t.now < time then t.now <- time
+
+let run_for t ~delay = run_until t ~time:(t.now + delay)
+
+let drain ?(limit = 10_000_000) t =
+  let executed = ref 0 in
+  while !executed < limit && run_next t do
+    incr executed
+  done;
+  !executed
+
+type recurring = { mutable active : bool }
+
+let every t ?phase ~period f =
+  if period <= 0 then invalid_arg "Scheduler.every: period must be positive";
+  let handle = { active = true } in
+  let rec fire () =
+    if handle.active then begin
+      f ();
+      schedule_after t ~delay:period fire
+    end
+  in
+  let phase = match phase with Some p -> p | None -> period in
+  schedule_after t ~delay:phase fire;
+  handle
+
+let cancel handle = handle.active <- false

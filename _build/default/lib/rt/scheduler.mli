@@ -1,0 +1,45 @@
+(** Discrete-event scheduler.
+
+    Simulated time is an integer tick count (think microseconds).
+    Events scheduled for the same tick run in scheduling (FIFO) order,
+    so a run is fully determined by the seed that drove the latency
+    draws. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+(** [time] must not be in the past. *)
+
+val schedule_after : t -> delay:int -> (unit -> unit) -> unit
+(** Non-negative delay. *)
+
+val pending : t -> int
+
+val is_idle : t -> bool
+
+val run_next : t -> bool
+(** Execute the earliest event; [false] when the queue is empty. *)
+
+val run_until : t -> time:int -> unit
+(** Execute every event with timestamp [<= time], then advance the
+    clock to [time] even if idle earlier. *)
+
+val run_for : t -> delay:int -> unit
+
+val drain : ?limit:int -> t -> int
+(** Run events until the queue is empty or [limit] events have run
+    (default 10 million, a runaway guard); returns the number
+    executed. *)
+
+type recurring
+
+val every :
+  t -> ?phase:int -> period:int -> (unit -> unit) -> recurring
+(** Install a recurring event: first firing at [now + phase] (default:
+    one full period), then every [period] ticks until cancelled. *)
+
+val cancel : recurring -> unit

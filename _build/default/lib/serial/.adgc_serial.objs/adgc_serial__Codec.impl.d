@@ -1,0 +1,1 @@
+lib/serial/codec.ml: Sval

@@ -1,0 +1,1 @@
+lib/serial/net_codec.ml: Array Hashtbl Int List Sval Wire

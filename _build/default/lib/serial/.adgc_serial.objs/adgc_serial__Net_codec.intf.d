@@ -1,0 +1,1 @@
+lib/serial/net_codec.mli: Codec

@@ -1,0 +1,1 @@
+lib/serial/rotor_codec.ml: Buffer Char Int64 List Printf Scanf String Sval Wire

@@ -1,0 +1,1 @@
+lib/serial/rotor_codec.mli: Codec

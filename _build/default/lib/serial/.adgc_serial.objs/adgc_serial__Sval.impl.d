@@ -1,0 +1,1 @@
+lib/serial/sval.ml: Bool Float Format Int List String

@@ -1,0 +1,1 @@
+lib/serial/sval.mli: Format

@@ -1,0 +1,1 @@
+lib/serial/wire.ml: Buffer Char Int Int64 String Sys

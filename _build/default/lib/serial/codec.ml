@@ -1,0 +1,17 @@
+module type S = sig
+  val name : string
+
+  val encode : Sval.t -> string
+
+  val decode : string -> Sval.t
+end
+
+type t = (module S)
+
+let name (module C : S) = C.name
+
+let encode (module C : S) v = C.encode v
+
+let decode (module C : S) s = C.decode s
+
+let roundtrip c v = decode c (encode c v)

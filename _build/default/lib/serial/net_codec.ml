@@ -1,0 +1,118 @@
+let name = "net"
+
+let tag_unit = 0
+let tag_bool_false = 1
+let tag_bool_true = 2
+let tag_int = 3
+let tag_float = 4
+let tag_str = 5
+let tag_list = 6
+let tag_record = 7
+
+(* Interned names: the first occurrence is written as [size-of-table]
+   followed by the string; later occurrences as their index. *)
+type intern_w = { tbl : (string, int) Hashtbl.t; mutable next : int }
+
+let write_name w intern s =
+  match Hashtbl.find_opt intern.tbl s with
+  | Some idx -> Wire.Writer.varint w idx
+  | None ->
+      Wire.Writer.varint w intern.next;
+      Wire.Writer.string w s;
+      Hashtbl.add intern.tbl s intern.next;
+      intern.next <- intern.next + 1
+
+let rec write w intern (v : Sval.t) =
+  match v with
+  | Unit -> Wire.Writer.byte w tag_unit
+  | Bool false -> Wire.Writer.byte w tag_bool_false
+  | Bool true -> Wire.Writer.byte w tag_bool_true
+  | Int i ->
+      Wire.Writer.byte w tag_int;
+      Wire.Writer.varint w i
+  | Float f ->
+      Wire.Writer.byte w tag_float;
+      Wire.Writer.float w f
+  | Str s ->
+      Wire.Writer.byte w tag_str;
+      Wire.Writer.string w s
+  | List items ->
+      Wire.Writer.byte w tag_list;
+      Wire.Writer.varint w (List.length items);
+      List.iter (write w intern) items
+  | Record (rname, fields) ->
+      Wire.Writer.byte w tag_record;
+      write_name w intern rname;
+      Wire.Writer.varint w (List.length fields);
+      List.iter
+        (fun (k, fv) ->
+          write_name w intern k;
+          write w intern fv)
+        fields
+
+let encode v =
+  let w = Wire.Writer.create ~initial:1024 () in
+  let intern = { tbl = Hashtbl.create 64; next = 0 } in
+  write w intern v;
+  Wire.Writer.contents w
+
+type intern_r = { mutable names : string array; mutable count : int }
+
+let read_name r intern =
+  let idx = Wire.Reader.varint r in
+  if idx < 0 then raise (Wire.Malformed { offset = Wire.Reader.pos r; what = "negative intern index" })
+  else if idx < intern.count then intern.names.(idx)
+  else if idx = intern.count then begin
+    let s = Wire.Reader.string r in
+    if intern.count = Array.length intern.names then begin
+      let bigger = Array.make (Int.max 16 (2 * intern.count)) "" in
+      Array.blit intern.names 0 bigger 0 intern.count;
+      intern.names <- bigger
+    end;
+    intern.names.(intern.count) <- s;
+    intern.count <- intern.count + 1;
+    s
+  end
+  else raise (Wire.Malformed { offset = Wire.Reader.pos r; what = "bad intern index" })
+
+(* Each element costs at least one byte, so a length beyond the
+   remaining input is malformed — checked up front rather than letting
+   a huge claimed length allocate unboundedly. *)
+let checked_length r =
+  let n = Wire.Reader.varint r in
+  if n < 0 || n > Wire.Reader.remaining r then
+    raise (Wire.Malformed { offset = Wire.Reader.pos r; what = "implausible length" });
+  n
+
+let rec read r intern : Sval.t =
+  let tag = Wire.Reader.byte r in
+  if tag = tag_unit then Unit
+  else if tag = tag_bool_false then Bool false
+  else if tag = tag_bool_true then Bool true
+  else if tag = tag_int then Int (Wire.Reader.varint r)
+  else if tag = tag_float then Float (Wire.Reader.float r)
+  else if tag = tag_str then Str (Wire.Reader.string r)
+  else if tag = tag_list then begin
+    let n = checked_length r in
+    List (List.init n (fun _ -> read r intern))
+  end
+  else if tag = tag_record then begin
+    let rname = read_name r intern in
+    let n = checked_length r in
+    let fields =
+      List.init n (fun _ ->
+          let k = read_name r intern in
+          let v = read r intern in
+          (k, v))
+    in
+    Record (rname, fields)
+  end
+  else raise (Wire.Malformed { offset = Wire.Reader.pos r; what = "bad tag" })
+
+let decode s =
+  let r = Wire.Reader.of_string s in
+  let intern = { names = [||]; count = 0 } in
+  let v = read r intern in
+  if not (Wire.Reader.at_end r) then
+    raise (Wire.Malformed { offset = Wire.Reader.pos r; what = "trailing bytes" });
+  v

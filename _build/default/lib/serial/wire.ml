@@ -1,0 +1,97 @@
+exception Malformed of { offset : int; what : string }
+
+let malformed offset what = raise (Malformed { offset; what })
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(initial = 256) () = Buffer.create initial
+
+  let length = Buffer.length
+
+  let contents = Buffer.contents
+
+  let byte t v = Buffer.add_char t (Char.chr (v land 0xFF))
+
+  (* Zigzag so that small negative values encode in one byte. *)
+  let zigzag v = (v lsl 1) lxor (v asr (Sys.int_size - 1))
+
+  let varint t v =
+    let v = ref (zigzag v) in
+    let continue = ref true in
+    while !continue do
+      let low = !v land 0x7F in
+      v := !v lsr 7;
+      if !v = 0 then begin
+        byte t low;
+        continue := false
+      end else byte t (low lor 0x80)
+    done
+
+  let int64 t v =
+    for i = 0 to 7 do
+      byte t (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+    done
+
+  let float t v = int64 t (Int64.bits_of_float v)
+
+  let raw t s = Buffer.add_string t s
+
+  let string t s =
+    varint t (String.length s);
+    raw t s
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+
+  let pos t = t.pos
+
+  let at_end t = t.pos >= String.length t.data
+
+  let remaining t = Int.max 0 (String.length t.data - t.pos)
+
+  let byte t =
+    if at_end t then malformed t.pos "unexpected end of input";
+    let c = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    c
+
+  let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+  let varint t =
+    let rec go shift acc =
+      if shift > Sys.int_size then malformed t.pos "varint too long";
+      let b = byte t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    unzigzag (go 0 0)
+
+  let int64 t =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (byte t)) (8 * i))
+    done;
+    !v
+
+  let float t = Int64.float_of_bits (int64 t)
+
+  let raw t n =
+    if n < 0 || t.pos + n > String.length t.data then
+      malformed t.pos "raw read past end of input";
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let string t =
+    let n = varint t in
+    raw t n
+
+  let expect t s =
+    let start = t.pos in
+    let got = try raw t (String.length s) with Malformed _ -> malformed start ("expected " ^ s) in
+    if not (String.equal got s) then malformed start ("expected " ^ s)
+end

@@ -1,0 +1,63 @@
+(** Low-level byte-oriented reader/writer primitives shared by the
+    codecs.
+
+    The writer wraps [Buffer]; the reader walks a [string] with an
+    explicit cursor and raises {!Malformed} on any decoding error,
+    carrying the offending offset. *)
+
+exception Malformed of { offset : int; what : string }
+
+module Writer : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+
+  val length : t -> int
+
+  val contents : t -> string
+
+  val byte : t -> int -> unit
+  (** Low 8 bits. *)
+
+  val varint : t -> int -> unit
+  (** LEB128, zigzag-encoded so negative ints stay small. *)
+
+  val int64 : t -> int64 -> unit
+  (** Fixed 8 bytes, little-endian. *)
+
+  val float : t -> float -> unit
+
+  val string : t -> string -> unit
+  (** Varint length prefix followed by the raw bytes. *)
+
+  val raw : t -> string -> unit
+  (** Bytes with no length prefix. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+
+  val pos : t -> int
+
+  val at_end : t -> bool
+
+  val remaining : t -> int
+  (** Bytes left to read. *)
+
+  val byte : t -> int
+
+  val varint : t -> int
+
+  val int64 : t -> int64
+
+  val float : t -> float
+
+  val string : t -> string
+
+  val raw : t -> int -> string
+
+  val expect : t -> string -> unit
+  (** [expect r s] consumes [s] or raises {!Malformed}. *)
+end

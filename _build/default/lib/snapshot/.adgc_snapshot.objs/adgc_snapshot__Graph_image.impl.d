@@ -1,0 +1,1 @@
+lib/snapshot/graph_image.ml: Adgc_algebra Adgc_rt Adgc_serial Array Heap List Oid Printf Proc_id Process String Stub_table

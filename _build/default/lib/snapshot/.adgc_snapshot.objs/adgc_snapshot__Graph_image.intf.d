@@ -1,0 +1,1 @@
+lib/snapshot/graph_image.mli: Adgc_rt Adgc_serial Process

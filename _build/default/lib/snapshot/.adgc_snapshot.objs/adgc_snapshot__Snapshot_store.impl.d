@@ -1,0 +1,1 @@
+lib/snapshot/snapshot_store.ml: Adgc_algebra Adgc_rt Adgc_serial Adgc_util Array Hashtbl List Option Proc_id Process Runtime String Summarize Summary

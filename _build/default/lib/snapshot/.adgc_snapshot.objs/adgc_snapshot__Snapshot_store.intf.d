@@ -1,0 +1,1 @@
+lib/snapshot/snapshot_store.mli: Adgc_algebra Adgc_rt Adgc_serial Proc_id Summarize Summary

@@ -1,0 +1,1 @@
+lib/snapshot/summarize.ml: Adgc_algebra Adgc_rt Array Heap Int List Oid Option Proc_id Process Ref_key Scion_table Stack Stub_table Summary

@@ -1,0 +1,1 @@
+lib/snapshot/summarize.mli: Adgc_rt Summary

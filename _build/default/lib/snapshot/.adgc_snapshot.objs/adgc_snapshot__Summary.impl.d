@@ -1,0 +1,1 @@
+lib/snapshot/summary.ml: Adgc_algebra Adgc_serial Format List Oid Option Proc_id Ref_key

@@ -1,0 +1,1 @@
+lib/snapshot/summary.mli: Adgc_algebra Adgc_serial Format Oid Proc_id Ref_key

@@ -1,0 +1,74 @@
+open Adgc_algebra
+open Adgc_rt
+module Stats = Adgc_util.Stats
+
+type t = {
+  rt : Runtime.t;
+  codec : Adgc_serial.Codec.t;
+  algo : Summarize.algo;
+  inc_states : (int, Summarize.Incremental.state) Hashtbl.t option;
+  store : (int, Summary.t * string) Hashtbl.t; (* proc -> summary, encoded bytes *)
+  mutable subscribers : (Summary.t -> unit) list;
+}
+
+let create ?codec ?(algo = Summarize.Condensed) ?(incremental = false) rt =
+  let codec =
+    match codec with Some c -> c | None -> (module Adgc_serial.Net_codec : Adgc_serial.Codec.S)
+  in
+  {
+    rt;
+    codec;
+    algo;
+    inc_states = (if incremental then Some (Hashtbl.create 16) else None);
+    store = Hashtbl.create 16;
+    subscribers = [];
+  }
+
+let summarize t ~now (p : Process.t) =
+  match t.inc_states with
+  | None -> Summarize.run ~algo:t.algo ~now p
+  | Some states ->
+      let i = Proc_id.to_int p.Process.id in
+      let state =
+        match Hashtbl.find_opt states i with
+        | Some s -> s
+        | None ->
+            let s = Summarize.Incremental.create () in
+            Hashtbl.add states i s;
+            s
+      in
+      Summarize.Incremental.run state ~now p
+
+let take t (p : Process.t) =
+  let now = Runtime.now t.rt in
+  let summary = summarize t ~now p in
+  let encoded = Adgc_serial.Codec.encode t.codec (Summary.to_sval summary) in
+  Stats.incr t.rt.Runtime.stats "snapshot.taken";
+  Stats.add t.rt.Runtime.stats "snapshot.bytes" (String.length encoded);
+  (* Publish what survives the round-trip, not the in-memory value. *)
+  let published =
+    match Summary.of_sval (Adgc_serial.Codec.decode t.codec encoded) with
+    | Some s -> s
+    | None ->
+        Stats.incr t.rt.Runtime.stats "snapshot.decode_failures";
+        summary
+  in
+  Hashtbl.replace t.store (Proc_id.to_int p.Process.id) (published, encoded);
+  Runtime.log t.rt ~topic:"snapshot" "%a summarized: %d scions, %d stubs, %d bytes" Proc_id.pp
+    p.Process.id
+    (fst (Summary.counts published))
+    (snd (Summary.counts published))
+    (String.length encoded);
+  List.iter (fun f -> f published) t.subscribers;
+  published
+
+let take_all t = Array.iter (fun p -> ignore (take t p : Summary.t)) t.rt.Runtime.procs
+
+let latest t proc = Option.map fst (Hashtbl.find_opt t.store (Proc_id.to_int proc))
+
+let bytes_on_disk t proc =
+  match Hashtbl.find_opt t.store (Proc_id.to_int proc) with
+  | Some (_, bytes) -> String.length bytes
+  | None -> 0
+
+let subscribe t f = t.subscribers <- f :: t.subscribers

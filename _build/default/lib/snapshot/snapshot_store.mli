@@ -1,0 +1,38 @@
+(** Snapshot pipeline: summarize, serialize, publish.
+
+    The paper's processes periodically store a snapshot "on disk" and
+    the DCDA works on the summarized form.  This store performs the
+    honest equivalent: it summarizes the process, encodes the summary
+    through the configured codec, keeps the bytes (our "disk"), and
+    publishes the {e decoded} summary — so the detector always reads
+    what survived a serialization round-trip, never the live tables.
+
+    Sizes and durations are recorded in the cluster statistics. *)
+
+open Adgc_algebra
+
+type t
+
+val create :
+  ?codec:Adgc_serial.Codec.t ->
+  ?algo:Summarize.algo ->
+  ?incremental:bool ->
+  Adgc_rt.Runtime.t ->
+  t
+(** Default codec: the compact one; default algorithm: [Condensed].
+    With [~incremental:true] each process gets a persistent
+    {!Summarize.Incremental} state and [algo] is ignored. *)
+
+val take : t -> Adgc_rt.Process.t -> Summary.t
+(** Snapshot one process now; returns (and publishes) the summary. *)
+
+val take_all : t -> unit
+
+val latest : t -> Proc_id.t -> Summary.t option
+
+val bytes_on_disk : t -> Proc_id.t -> int
+(** Size of the stored encoded summary (0 when none). *)
+
+val subscribe : t -> (Summary.t -> unit) -> unit
+(** Called with every newly published summary (the detector hooks in
+    here). *)

@@ -1,0 +1,186 @@
+open Adgc_algebra
+module Sval = Adgc_serial.Sval
+
+type scion_info = {
+  key : Ref_key.t;
+  scion_ic : int;
+  stubs_from : Oid.Set.t;
+  target_locally_reachable : bool;
+  last_invoked : int;
+}
+
+type stub_info = {
+  target : Oid.t;
+  stub_ic : int;
+  scions_to : Ref_key.Set.t;
+  local_reach : bool;
+}
+
+type t = {
+  proc : Proc_id.t;
+  taken_at : int;
+  scions : scion_info Ref_key.Map.t;
+  stubs : stub_info Oid.Map.t;
+}
+
+let make ~proc ~taken_at ~scions ~stubs =
+  {
+    proc;
+    taken_at;
+    scions = List.fold_left (fun m s -> Ref_key.Map.add s.key s m) Ref_key.Map.empty scions;
+    stubs = List.fold_left (fun m s -> Oid.Map.add s.target s m) Oid.Map.empty stubs;
+  }
+
+let find_scion t key = Ref_key.Map.find_opt key t.scions
+
+let find_stub t target = Oid.Map.find_opt target t.stubs
+
+let scion_list t = List.map snd (Ref_key.Map.bindings t.scions)
+
+let stub_list t = List.map snd (Oid.Map.bindings t.stubs)
+
+let counts t = (Ref_key.Map.cardinal t.scions, Oid.Map.cardinal t.stubs)
+
+let scion_equal a b =
+  Ref_key.equal a.key b.key && a.scion_ic = b.scion_ic
+  && Oid.Set.equal a.stubs_from b.stubs_from
+  && a.target_locally_reachable = b.target_locally_reachable
+  && a.last_invoked = b.last_invoked
+
+let stub_equal a b =
+  Oid.equal a.target b.target && a.stub_ic = b.stub_ic
+  && Ref_key.Set.equal a.scions_to b.scions_to
+  && a.local_reach = b.local_reach
+
+let equal a b =
+  Proc_id.equal a.proc b.proc
+  && Ref_key.Map.equal scion_equal a.scions b.scions
+  && Oid.Map.equal stub_equal a.stubs b.stubs
+
+(* ------------------------------------------------------------------ *)
+(* Wire format *)
+
+let oid_sval (o : Oid.t) = Sval.List [ Sval.Int (Proc_id.to_int (Oid.owner o)); Sval.Int o.Oid.serial ]
+
+let oid_of_sval = function
+  | Sval.List [ Sval.Int owner; Sval.Int serial ] when owner >= 0 && serial >= 0 ->
+      Some (Oid.make ~owner:(Proc_id.of_int owner) ~serial)
+  | _ -> None
+
+let key_sval (k : Ref_key.t) =
+  Sval.List [ Sval.Int (Proc_id.to_int k.Ref_key.src); oid_sval k.Ref_key.target ]
+
+let key_of_sval = function
+  | Sval.List [ Sval.Int src; target ] when src >= 0 ->
+      Option.map (fun target -> Ref_key.make ~src:(Proc_id.of_int src) ~target) (oid_of_sval target)
+  | _ -> None
+
+let scion_sval s =
+  Sval.Record
+    ( "scion",
+      [
+        ("key", key_sval s.key);
+        ("ic", Sval.Int s.scion_ic);
+        ("stubs_from", Sval.List (List.map oid_sval (Oid.Set.elements s.stubs_from)));
+        ("root", Sval.Bool s.target_locally_reachable);
+        ("last_invoked", Sval.Int s.last_invoked);
+      ] )
+
+let stub_sval s =
+  Sval.Record
+    ( "stub",
+      [
+        ("target", oid_sval s.target);
+        ("ic", Sval.Int s.stub_ic);
+        ("scions_to", Sval.List (List.map key_sval (Ref_key.Set.elements s.scions_to)));
+        ("local_reach", Sval.Bool s.local_reach);
+      ] )
+
+let to_sval t =
+  Sval.Record
+    ( "summary",
+      [
+        ("proc", Sval.Int (Proc_id.to_int t.proc));
+        ("taken_at", Sval.Int t.taken_at);
+        ("scions", Sval.List (List.map scion_sval (scion_list t)));
+        ("stubs", Sval.List (List.map stub_sval (stub_list t)));
+      ] )
+
+let all_some l =
+  List.fold_left
+    (fun acc v -> match (acc, v) with Some acc, Some v -> Some (v :: acc) | _, _ -> None)
+    (Some []) l
+  |> Option.map List.rev
+
+let scion_of_sval = function
+  | Sval.Record
+      ( "scion",
+        [
+          ("key", key);
+          ("ic", Sval.Int scion_ic);
+          ("stubs_from", Sval.List stubs_from);
+          ("root", Sval.Bool target_locally_reachable);
+          ("last_invoked", Sval.Int last_invoked);
+        ] ) ->
+      Option.bind (key_of_sval key) (fun key ->
+          Option.map
+            (fun stubs ->
+              {
+                key;
+                scion_ic;
+                stubs_from = Oid.Set.of_list stubs;
+                target_locally_reachable;
+                last_invoked;
+              })
+            (all_some (List.map oid_of_sval stubs_from)))
+  | _ -> None
+
+let stub_of_sval = function
+  | Sval.Record
+      ( "stub",
+        [
+          ("target", target);
+          ("ic", Sval.Int stub_ic);
+          ("scions_to", Sval.List scions_to);
+          ("local_reach", Sval.Bool local_reach);
+        ] ) ->
+      Option.bind (oid_of_sval target) (fun target ->
+          Option.map
+            (fun keys ->
+              { target; stub_ic; scions_to = Ref_key.Set.of_list keys; local_reach })
+            (all_some (List.map key_of_sval scions_to)))
+  | _ -> None
+
+let of_sval = function
+  | Sval.Record
+      ( "summary",
+        [
+          ("proc", Sval.Int proc);
+          ("taken_at", Sval.Int taken_at);
+          ("scions", Sval.List scions);
+          ("stubs", Sval.List stubs);
+        ] )
+    when proc >= 0 ->
+      Option.bind (all_some (List.map scion_of_sval scions)) (fun scions ->
+          Option.map
+            (fun stubs -> make ~proc:(Proc_id.of_int proc) ~taken_at ~scions ~stubs)
+            (all_some (List.map stub_of_sval stubs)))
+  | _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>summary of %a at %d@," Proc_id.pp t.proc t.taken_at;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  scion %a ic=%d root=%b StubsFrom={%a}@," Ref_key.pp s.key s.scion_ic
+        s.target_locally_reachable
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Oid.pp)
+        (Oid.Set.elements s.stubs_from))
+    (scion_list t);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  stub  %a ic=%d local=%b ScionsTo={%a}@," Oid.pp s.target s.stub_ic
+        s.local_reach
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Ref_key.pp)
+        (Ref_key.Set.elements s.scions_to))
+    (stub_list t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,69 @@
+(** Summarized graph description of one process snapshot.
+
+    The paper's "Graph Summarization" (§3): everything the DCDA needs
+    to know about a process, with strictly-internal references
+    compiled away.  Per scion: the stubs transitively reachable from
+    its target ([StubsFrom]) and whether the target is reachable from
+    the local root.  Per stub: the scions that transitively lead to it
+    ([ScionsTo]) and its local reachability flag ([Local.Reach]).
+    Both carry the invocation counters observed at snapshot time —
+    the race barrier of §3.2.
+
+    A summary is an immutable value: once taken it never changes, even
+    as the live tables move on.  Detections combine CDMs with whatever
+    summary version a process currently publishes; staleness is
+    handled by the paper's safety rules, not by freshness
+    guarantees. *)
+
+open Adgc_algebra
+
+type scion_info = {
+  key : Ref_key.t;
+  scion_ic : int;
+  stubs_from : Oid.Set.t;  (** targets of stubs reachable from the scion's target *)
+  target_locally_reachable : bool;
+  last_invoked : int;
+}
+
+type stub_info = {
+  target : Oid.t;
+  stub_ic : int;
+  scions_to : Ref_key.Set.t;  (** scions leading to this stub *)
+  local_reach : bool;  (** the paper's [Local.Reach] bit *)
+}
+
+type t = {
+  proc : Proc_id.t;
+  taken_at : int;
+  scions : scion_info Ref_key.Map.t;
+  stubs : stub_info Oid.Map.t;
+}
+
+val make :
+  proc:Proc_id.t ->
+  taken_at:int ->
+  scions:scion_info list ->
+  stubs:stub_info list ->
+  t
+
+val find_scion : t -> Ref_key.t -> scion_info option
+
+val find_stub : t -> Oid.t -> stub_info option
+
+val scion_list : t -> scion_info list
+(** Ascending key order. *)
+
+val stub_list : t -> stub_info list
+
+val counts : t -> int * int
+(** [(scions, stubs)]. *)
+
+val equal : t -> t -> bool
+(** Structural, ignoring [taken_at] — used to check that the two
+    summarizer implementations agree. *)
+
+val to_sval : t -> Adgc_serial.Sval.t
+
+val of_sval : Adgc_serial.Sval.t -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/trace.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/util/trace.mli: Format

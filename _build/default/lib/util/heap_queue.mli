@@ -1,0 +1,29 @@
+(** Imperative binary min-heap priority queue.
+
+    Used as the event queue of the discrete-event scheduler.  Keys are
+    compared with a user-supplied total order; ties are broken by
+    insertion order (FIFO), which the scheduler relies on for
+    deterministic same-timestamp delivery. *)
+
+type ('k, 'v) t
+
+val create : compare:('k -> 'k -> int) -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+
+val is_empty : ('k, 'v) t -> bool
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+val peek : ('k, 'v) t -> ('k * 'v) option
+(** Smallest key, without removing it. *)
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** Remove and return the smallest key. Among equal keys, the one
+    pushed first is returned first. *)
+
+val clear : ('k, 'v) t -> unit
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Snapshot of the contents in ascending key order (non-destructive;
+    O(n log n)). *)

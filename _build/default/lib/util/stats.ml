@@ -1,0 +1,92 @@
+type series = { mutable values : float list; mutable n : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, series) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+
+let add t name v =
+  let r = counter_ref t name in
+  r := !r + v
+
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let series_ref t name =
+  match Hashtbl.find_opt t.series name with
+  | Some s -> s
+  | None ->
+      let s = { values = []; n = 0 } in
+      Hashtbl.add t.series name s;
+      s
+
+let record t name v =
+  let s = series_ref t name in
+  s.values <- v :: s.values;
+  s.n <- s.n + 1
+
+let samples t name =
+  match Hashtbl.find_opt t.series name with
+  | Some s -> List.rev s.values
+  | None -> []
+
+let count t name = match Hashtbl.find_opt t.series name with Some s -> s.n | None -> 0
+
+let total t name = List.fold_left ( +. ) 0.0 (samples t name)
+
+let mean t name =
+  let n = count t name in
+  if n = 0 then Float.nan else total t name /. float_of_int n
+
+let min_max t name =
+  match samples t name with
+  | [] -> None
+  | x :: rest ->
+      Some (List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) rest)
+
+let percentile t name p =
+  match samples t name with
+  | [] -> Float.nan
+  | values ->
+      let arr = Array.of_list values in
+      Array.sort Float.compare arr;
+      let n = Array.length arr in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let idx = Int.max 0 (Int.min (n - 1) (rank - 1)) in
+      arr.(idx)
+
+let merge_into ~src ~dst =
+  Hashtbl.iter (fun k r -> add dst k !r) src.counters;
+  Hashtbl.iter
+    (fun k s -> List.iter (fun v -> record dst k v) (List.rev s.values))
+    src.series
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.series
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-40s %d@." k v) (counters t);
+  let names =
+    Hashtbl.fold (fun k _ acc -> k :: acc) t.series []
+    |> List.sort String.compare
+  in
+  let pp_series name =
+    Format.fprintf ppf "%-40s n=%d mean=%.2f@." name (count t name) (mean t name)
+  in
+  List.iter pp_series names

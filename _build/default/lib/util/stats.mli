@@ -1,0 +1,52 @@
+(** Named counters and scalar series for experiment reporting.
+
+    A [t] is a registry of monotonically increasing counters (message
+    counts, bytes, detections, ...) and of sample series on which
+    simple descriptive statistics can be computed.  It is shared by
+    the runtime, the detectors and the benchmark harness so every
+    experiment reports through the same channel. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** 0 when the counter has never been touched. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+(** {1 Sample series} *)
+
+val record : t -> string -> float -> unit
+
+val samples : t -> string -> float list
+(** In recording order; empty if never recorded. *)
+
+val count : t -> string -> int
+
+val mean : t -> string -> float
+(** [nan] on an empty series. *)
+
+val min_max : t -> string -> (float * float) option
+
+val percentile : t -> string -> float -> float
+(** [percentile t name p] with [p] in [\[0,100\]]; nearest-rank on the
+    sorted series. [nan] on an empty series. *)
+
+val total : t -> string -> float
+
+(** {1 Reporting} *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Add all of [src]'s counters into [dst] and append its series. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+type align = Left | Right
+
+let normalize ncols row =
+  let len = List.length row in
+  if len >= ncols then List.filteri (fun i _ -> i < ncols) row
+  else row @ List.init (ncols - len) (fun _ -> "")
+
+let render ?align ~header ~rows () =
+  let ncols = List.length header in
+  let rows = List.map (normalize ncols) rows in
+  let aligns =
+    match align with
+    | Some l -> normalize ncols (List.map (fun a -> match a with Left -> "l" | Right -> "r") l)
+                |> List.map (fun s -> if s = "r" then Right else Left)
+    | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> Int.max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let pad a w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match a with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line ch =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths) ^ "+"
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> " " ^ pad (List.nth aligns i) (List.nth widths i) cell ^ " ")
+        row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print ?align ~header ~rows () = print_string (render ?align ~header ~rows ())

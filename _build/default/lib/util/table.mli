@@ -1,0 +1,23 @@
+(** Plain-text table rendering for benchmark and example output.
+
+    Produces aligned, boxed ASCII tables in the style of the paper's
+    Table 1 so that [bench/main.exe]'s output can be compared with the
+    published rows at a glance. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** [render ~header ~rows ()] lays the table out with one column per
+    header entry.  Rows shorter than the header are padded with empty
+    cells; longer rows are truncated.  [align] defaults to [Left] for
+    the first column and [Right] for the rest (the common numeric
+    layout). *)
+
+val print :
+  ?align:align list -> header:string list -> rows:string list list -> unit -> unit
+(** [render] followed by [print_string]. *)

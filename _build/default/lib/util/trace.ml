@@ -1,0 +1,57 @@
+type event = { time : int; topic : string; text : string }
+
+type t = {
+  capacity : int;
+  buf : event option array;
+  mutable head : int; (* next write slot *)
+  mutable count : int;
+  mutable dropped : int;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 65536) () =
+  { capacity; buf = Array.make capacity None; head = 0; count = 0; dropped = 0; enabled = true }
+
+let enabled t = t.enabled
+
+let set_enabled t b = t.enabled <- b
+
+let add t ~time ~topic text =
+  if t.enabled then begin
+    if t.count = t.capacity then t.dropped <- t.dropped + 1
+    else t.count <- t.count + 1;
+    t.buf.(t.head) <- Some { time; topic; text };
+    t.head <- (t.head + 1) mod t.capacity
+  end
+
+let addf t ~time ~topic fmt =
+  if t.enabled then
+    Format.kasprintf (fun text -> add t ~time ~topic text) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
+
+let events t =
+  let start = (t.head - t.count + t.capacity * 2) mod t.capacity in
+  let rec collect i n acc =
+    if n = 0 then List.rev acc
+    else
+      let acc =
+        match t.buf.(i) with None -> acc | Some e -> e :: acc
+      in
+      collect ((i + 1) mod t.capacity) (n - 1) acc
+  in
+  collect start t.count []
+
+let by_topic t topic = List.filter (fun e -> e.topic = topic) (events t)
+
+let dropped t = t.dropped
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.head <- 0;
+  t.count <- 0;
+  t.dropped <- 0
+
+let pp_event ppf e = Format.fprintf ppf "[%6d] %-10s %s" e.time e.topic e.text
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)

@@ -1,0 +1,40 @@
+(** Bounded in-memory event trace.
+
+    Subsystems append one-line events tagged with a simulated
+    timestamp and a topic; tests assert on the recorded sequence and
+    examples replay it to print paper-style step traces (e.g. the
+    algebra steps of the paper's Section 3).  The buffer is bounded so
+    long benchmark runs cannot exhaust memory; when full, the oldest
+    events are dropped and [dropped] counts them. *)
+
+type event = { time : int; topic : string; text : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 65536 events. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Disabling makes {!add} a no-op (used by benchmarks). *)
+
+val add : t -> time:int -> topic:string -> string -> unit
+
+val addf :
+  t -> time:int -> topic:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant. The message is only rendered when the trace is
+    enabled. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val by_topic : t -> string -> event list
+
+val dropped : t -> int
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/churn.ml: Adgc_algebra Adgc_rt Adgc_util Array Cluster Heap List Mutator Oid Proc_id Process Rmi Scheduler Stub_table

@@ -1,0 +1,1 @@
+lib/workload/churn.mli: Adgc_rt Adgc_util

@@ -1,0 +1,1 @@
+lib/workload/inspect.ml: Adgc_algebra Adgc_rt Array Cluster Format Heap List Names Network Oid Printf Proc_id Process Ref_key Scion_table Stub_table

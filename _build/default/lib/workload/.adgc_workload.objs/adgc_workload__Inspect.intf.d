@@ -1,0 +1,1 @@
+lib/workload/inspect.mli: Adgc_rt Format Names

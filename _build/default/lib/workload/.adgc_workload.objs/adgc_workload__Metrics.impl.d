@@ -1,0 +1,1 @@
+lib/workload/metrics.ml: Adgc_algebra Adgc_rt Cluster Format List Oid Proc_id Runtime Scheduler String

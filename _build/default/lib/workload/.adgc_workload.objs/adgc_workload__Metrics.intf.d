@@ -1,0 +1,1 @@
+lib/workload/metrics.mli: Adgc_algebra Adgc_rt Format

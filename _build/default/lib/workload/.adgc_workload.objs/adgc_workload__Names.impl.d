@@ -1,0 +1,1 @@
+lib/workload/names.ml: Adgc_algebra Adgc_rt Format Hashtbl Oid Proc_id Ref_key

@@ -1,0 +1,1 @@
+lib/workload/names.mli: Adgc_algebra Adgc_rt Format Oid Ref_key

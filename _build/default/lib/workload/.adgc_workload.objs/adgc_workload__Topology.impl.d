@@ -1,0 +1,1 @@
+lib/workload/topology.ml: Adgc_algebra Adgc_rt Adgc_util Array Cluster Heap Int List Mutator Names Oid Printf Proc_id Process Ref_key

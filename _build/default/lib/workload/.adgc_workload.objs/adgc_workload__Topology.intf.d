@@ -1,0 +1,1 @@
+lib/workload/topology.mli: Adgc_algebra Adgc_rt Adgc_util Cluster Heap Names Oid Ref_key

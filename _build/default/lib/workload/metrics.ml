@@ -1,0 +1,62 @@
+open Adgc_algebra
+open Adgc_rt
+
+type sample = { time : int; objects : int; live : int; garbage : int }
+
+let sample cluster =
+  let live = Oid.Set.cardinal (Cluster.globally_live cluster) in
+  let objects = Cluster.total_objects cluster in
+  { time = Cluster.now cluster; objects; live; garbage = objects - live }
+
+let pp_sample ppf s =
+  Format.fprintf ppf "t=%d objects=%d live=%d garbage=%d" s.time s.objects s.live s.garbage
+
+type sampler = { mutable acc : sample list; mutable handle : Scheduler.recurring option }
+
+let sample_every cluster ~period =
+  let t = { acc = []; handle = None } in
+  let handle =
+    Scheduler.every (Cluster.sched cluster) ~period (fun () -> t.acc <- sample cluster :: t.acc)
+  in
+  t.handle <- Some handle;
+  t
+
+let samples t = List.rev t.acc
+
+let stop_sampling t =
+  match t.handle with
+  | Some h ->
+      Scheduler.cancel h;
+      t.handle <- None
+  | None -> ()
+
+type safety_checker = { mutable violations : (Proc_id.t * Oid.t) list }
+
+let install_safety_checker cluster =
+  let checker = { violations = [] } in
+  let rt = Cluster.rt cluster in
+  (* The pre-sweep hook fires with every heap still intact, so ground
+     truth computed here is exact for the objects about to go. *)
+  rt.Runtime.on_pre_sweep <-
+    Some
+      (fun proc doomed ->
+        let live = Cluster.globally_live cluster in
+        List.iter
+          (fun oid ->
+            if Oid.Set.mem oid live then checker.violations <- (proc, oid) :: checker.violations)
+          doomed);
+  checker
+
+let violations t = List.rev t.violations
+
+let assert_safe t =
+  match violations t with
+  | [] -> ()
+  | vs ->
+      let msg =
+        String.concat ", "
+          (List.map
+             (fun (p, o) -> Format.asprintf "%a swept live %a" Proc_id.pp p Oid.pp o)
+             vs)
+      in
+      failwith ("GC safety violated: " ^ msg)

@@ -1,0 +1,35 @@
+(** Ground-truth measurement and safety checking.
+
+    Everything here is omniscient (it inspects all heaps and in-flight
+    messages directly) and is used by tests, examples and benches —
+    never by the algorithms themselves. *)
+
+type sample = { time : int; objects : int; live : int; garbage : int }
+
+val sample : Adgc_rt.Cluster.t -> sample
+
+val pp_sample : Format.formatter -> sample -> unit
+
+type sampler
+
+val sample_every : Adgc_rt.Cluster.t -> period:int -> sampler
+(** Record a sample each [period] ticks (from the next period on). *)
+
+val samples : sampler -> sample list
+(** Oldest first. *)
+
+val stop_sampling : sampler -> unit
+
+(** {1 Safety checking} *)
+
+type safety_checker
+
+val install_safety_checker : Adgc_rt.Cluster.t -> safety_checker
+(** Hook every LGC sweep: before an object is reclaimed it must be
+    globally unreachable (checked against ground truth computed at the
+    moment of reclamation).  Violations are recorded, not raised. *)
+
+val violations : safety_checker -> (Adgc_algebra.Proc_id.t * Adgc_algebra.Oid.t) list
+
+val assert_safe : safety_checker -> unit
+(** @raise Failure listing the violations, if any. *)

@@ -1,0 +1,280 @@
+open Adgc_algebra
+open Adgc_rt
+
+type built = {
+  names : Names.t;
+  objects : (string * Heap.obj) list;
+  cycle_refs : Ref_key.t list;
+}
+
+let obj t name = List.assoc name t.objects
+
+let oid t name = (obj t name).Heap.oid
+
+let scion_key t ~src name = Ref_key.make ~src:(Proc_id.of_int src) ~target:(oid t name)
+
+(* Small builder DSL threading the cluster and a name table. *)
+type ctx = { cluster : Cluster.t; names : Names.t; mutable objs : (string * Heap.obj) list }
+
+let start cluster = { cluster; names = Names.create (); objs = [] }
+
+let add ctx ~proc name =
+  let o = Mutator.alloc ctx.cluster ~proc () in
+  Names.register ctx.names o name;
+  ctx.objs <- (name, o) :: ctx.objs;
+  o
+
+let local ctx a b = Mutator.link ctx.cluster ~from_:a ~to_:b
+
+let remote ctx a b =
+  Mutator.wire_remote ctx.cluster ~holder:a ~target:b;
+  Ref_key.make
+    ~src:(Oid.owner a.Heap.oid)
+    ~target:b.Heap.oid
+
+let finish ctx cycle_refs = { names = ctx.names; objects = List.rev ctx.objs; cycle_refs }
+
+let need cluster n fn_name =
+  if Cluster.n_procs cluster < n then
+    invalid_arg (Printf.sprintf "Topology.%s: needs at least %d processes" fn_name n)
+
+let fig3 cluster =
+  need cluster 4 "fig3";
+  let ctx = start cluster in
+  (* P1 *)
+  let a = add ctx ~proc:0 "A" and c = add ctx ~proc:0 "C" and b = add ctx ~proc:0 "B" in
+  let d = add ctx ~proc:0 "D" in
+  (* P2 *)
+  let f = add ctx ~proc:1 "F" and g = add ctx ~proc:1 "G" in
+  let h = add ctx ~proc:1 "H" and j = add ctx ~proc:1 "J" in
+  (* P3 *)
+  let o = add ctx ~proc:2 "O" and m = add ctx ~proc:2 "M" and k = add ctx ~proc:2 "K" in
+  (* P4 *)
+  let q = add ctx ~proc:3 "Q" and r = add ctx ~proc:3 "R" and s = add ctx ~proc:3 "S" in
+  (* Local structure *)
+  local ctx a c;
+  local ctx d c;
+  local ctx c b;
+  local ctx f g;
+  local ctx f h;
+  local ctx g h;
+  local ctx h j;
+  local ctx q r;
+  local ctx r s;
+  local ctx o m;
+  local ctx m k;
+  (* The distributed cycle *)
+  let r1 = remote ctx b f in
+  let r2 = remote ctx j q in
+  let r3 = remote ctx s o in
+  let r4 = remote ctx k d in
+  Mutator.add_root cluster a;
+  finish ctx [ r1; r2; r3; r4 ]
+
+let fig4 cluster =
+  need cluster 6 "fig4";
+  let ctx = start cluster in
+  let f = add ctx ~proc:1 "F" in
+  let v = add ctx ~proc:4 "V" and y = add ctx ~proc:4 "Y" in
+  let t = add ctx ~proc:3 "T" in
+  let d = add ctx ~proc:0 "D" in
+  let k = add ctx ~proc:2 "K" in
+  let zb = add ctx ~proc:5 "ZB" and zd = add ctx ~proc:5 "ZD" in
+  (* Leftmost cycle: F -> V -> T -> D -> F *)
+  let r1 = remote ctx f v in
+  let r2 = remote ctx v t in
+  let r3 = remote ctx t d in
+  let r4 = remote ctx d f in
+  (* Rightmost cycle: F -> K -> ZB -> (ZD) -> Y -> T -> ... *)
+  let r5 = remote ctx f k in
+  let r6 = remote ctx k zb in
+  local ctx zb zd;
+  let r7 = remote ctx zd y in
+  (* Y converges on the same stub P5 -> T. *)
+  ignore (Heap.add_ref (Cluster.proc cluster 4).Process.heap y t.Heap.oid : int);
+  finish ctx [ r1; r2; r3; r4; r5; r6; r7 ]
+
+let fig5 cluster =
+  need cluster 5 "fig5";
+  let ctx = start cluster in
+  let a = add ctx ~proc:0 "A" and d = add ctx ~proc:0 "D" in
+  let f = add ctx ~proc:1 "F" and j = add ctx ~proc:1 "J" in
+  let m = add ctx ~proc:2 "M" in
+  let t = add ctx ~proc:3 "T" in
+  let v = add ctx ~proc:4 "V" in
+  local ctx a d;
+  local ctx f j;
+  local ctx j f;
+  let r1 = remote ctx d f in
+  let r2 = remote ctx f v in
+  let r3 = remote ctx v t in
+  let r4 = remote ctx t d in
+  Mutator.add_root cluster a;
+  Mutator.add_root cluster m;
+  finish ctx [ r1; r2; r3; r4 ]
+
+let build_ring ?(objs_per_proc = 1) cluster ~procs ~rooted =
+  (match procs with
+  | [] | [ _ ] -> invalid_arg "Topology.ring: need at least two processes"
+  | _ :: _ :: _ -> ());
+  need cluster (List.fold_left Int.max 0 procs + 1) "ring";
+  let ctx = start cluster in
+  let chains =
+    List.map
+      (fun proc ->
+        List.init objs_per_proc (fun i -> add ctx ~proc (Printf.sprintf "n%d_%d" proc i)))
+      procs
+  in
+  List.iter
+    (fun chain ->
+      ignore
+        (List.fold_left
+           (fun prev o ->
+             (match prev with Some prev -> local ctx prev o | None -> ());
+             Some o)
+           None chain))
+    chains;
+  let firsts = List.map List.hd chains in
+  let lasts = List.map (fun chain -> List.nth chain (List.length chain - 1)) chains in
+  let nexts = match firsts with [] -> [] | x :: rest -> rest @ [ x ] in
+  let refs = List.map2 (fun last next -> remote ctx last next) lasts nexts in
+  (match (rooted, firsts) with
+  | true, first :: _ -> Mutator.add_root cluster first
+  | true, [] | false, _ -> ());
+  finish ctx refs
+
+let ring ?objs_per_proc cluster ~procs = build_ring ?objs_per_proc cluster ~procs ~rooted:false
+
+let rooted_ring ?objs_per_proc cluster ~procs =
+  build_ring ?objs_per_proc cluster ~procs ~rooted:true
+
+let hybrid cluster =
+  need cluster 3 "hybrid";
+  let ctx = start cluster in
+  (* Upstream acyclic chain (pure acyclic garbage): U1_P0 -> U2_P1 -> cycle. *)
+  let u1 = add ctx ~proc:0 "U1" and u2 = add ctx ~proc:1 "U2" in
+  (* The cycle: C0_P0 -> C1_P1 -> C2_P2 -> C0. *)
+  let c0 = add ctx ~proc:0 "C0" and c1 = add ctx ~proc:1 "C1" and c2 = add ctx ~proc:2 "C2" in
+  (* Downstream acyclic tail: C2 -> W1_P0 -> W2_P1. *)
+  let w1 = add ctx ~proc:0 "W1" and w2 = add ctx ~proc:1 "W2" in
+  let r0 = remote ctx u1 u2 in
+  let r1 = remote ctx u2 c0 in
+  let r2 = remote ctx c1 c2 in
+  let r3 = remote ctx c2 c0 in
+  let r4 = remote ctx c0 c1 in
+  let r5 = remote ctx c2 w1 in
+  let r6 = remote ctx w1 w2 in
+  finish ctx [ r0; r1; r2; r3; r4; r5; r6 ]
+
+let star_cycles ?(arms = 4) cluster =
+  need cluster (arms + 1) "star_cycles";
+  let ctx = start cluster in
+  let hub = add ctx ~proc:0 "hub" in
+  let refs =
+    List.concat
+      (List.init arms (fun i ->
+           let arm = add ctx ~proc:(i + 1) (Printf.sprintf "arm%d" (i + 1)) in
+           let out = remote ctx hub arm in
+           let back = remote ctx arm hub in
+           [ out; back ]))
+  in
+  finish ctx refs
+
+let lattice cluster ~rows ~cols =
+  if rows < 1 || cols < 2 then invalid_arg "Topology.lattice: need rows >= 1 and cols >= 2";
+  need cluster cols "lattice";
+  let ctx = start cluster in
+  let node =
+    Array.init rows (fun r ->
+        Array.init cols (fun c -> add ctx ~proc:c (Printf.sprintf "g%d_%d" r c)))
+  in
+  let refs = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      (* Rightward edges close each row into a distributed ring. *)
+      let right = node.(r).((c + 1) mod cols) in
+      refs := remote ctx node.(r).(c) right :: !refs;
+      (* Downward edges chain the rows (same process: local links). *)
+      if r + 1 < rows then local ctx node.(r).(c) node.(r + 1).(c)
+    done
+  done;
+  finish ctx (List.rev !refs)
+
+let chain_into_ring ?(chain = 16) cluster ~procs =
+  let ring_built = build_ring cluster ~procs ~rooted:false in
+  let ctx =
+    { cluster; names = ring_built.names; objs = List.rev ring_built.objects }
+  in
+  let n = Cluster.n_procs cluster in
+  let links = Array.init chain (fun i -> add ctx ~proc:(i mod n) (Printf.sprintf "c%d" i)) in
+  let refs = ref [] in
+  for i = 0 to chain - 2 do
+    let a = links.(i) and b = links.(i + 1) in
+    if Proc_id.equal (Oid.owner a.Heap.oid) (Oid.owner b.Heap.oid) then local ctx a b
+    else refs := remote ctx a b :: !refs
+  done;
+  (* The tail of the chain points into the ring. *)
+  let ring_head = List.assoc (Printf.sprintf "n%d_0" (List.hd procs)) ring_built.objects in
+  let tail = links.(chain - 1) in
+  (if Proc_id.equal (Oid.owner tail.Heap.oid) (Oid.owner ring_head.Heap.oid) then
+     local ctx tail ring_head
+   else refs := remote ctx tail ring_head :: !refs);
+  finish ctx (ring_built.cycle_refs @ List.rev !refs)
+
+let web ?(pages_per_site = 8) ?cross_links ?(back_prob = 0.5) cluster ~rng =
+  let module Rng = Adgc_util.Rng in
+  let sites = Cluster.n_procs cluster in
+  if sites < 2 then invalid_arg "Topology.web: need at least two sites";
+  let cross_links = match cross_links with Some c -> c | None -> 2 * sites in
+  let ctx = start cluster in
+  (* Each site: an index page rooting a chain of content pages, with a
+     "home" back-link from the last page (intra-site cycles are the
+     norm). *)
+  let pages =
+    Array.init sites (fun s ->
+        Array.init pages_per_site (fun i -> add ctx ~proc:s (Printf.sprintf "s%d_p%d" s i)))
+  in
+  Array.iter
+    (fun site ->
+      for i = 0 to pages_per_site - 2 do
+        local ctx site.(i) site.(i + 1)
+      done;
+      local ctx site.(pages_per_site - 1) site.(0);
+      Mutator.add_root cluster site.(0))
+    pages;
+  (* Cross-site links, randomly reciprocated. *)
+  let refs = ref [] in
+  for _ = 1 to cross_links do
+    let s1 = Rng.int rng sites in
+    let s2 = (s1 + 1 + Rng.int rng (sites - 1)) mod sites in
+    let a = pages.(s1).(Rng.int rng pages_per_site) in
+    let b = pages.(s2).(Rng.int rng pages_per_site) in
+    refs := remote ctx a b :: !refs;
+    if Rng.bernoulli rng back_prob then refs := remote ctx b a :: !refs
+  done;
+  finish ctx (List.rev !refs)
+
+let random cluster ~rng ~objects ~edges ~remote_prob ~root_prob =
+  let ctx = start cluster in
+  let n = Cluster.n_procs cluster in
+  let objs =
+    Array.init objects (fun i -> add ctx ~proc:(i mod n) (Printf.sprintf "r%d" i))
+  in
+  let module Rng = Adgc_util.Rng in
+  for _ = 1 to edges do
+    let a = objs.(Rng.int rng objects) in
+    if Rng.bernoulli rng remote_prob then begin
+      (* Remote edge: pick a target in a different process. *)
+      let b = objs.(Rng.int rng objects) in
+      if not (Proc_id.equal (Oid.owner a.Heap.oid) (Oid.owner b.Heap.oid)) then
+        ignore (remote ctx a b : Ref_key.t)
+    end
+    else begin
+      (* Local edge: pick a target in the same process. *)
+      let b = objs.(Rng.int rng objects) in
+      if Proc_id.equal (Oid.owner a.Heap.oid) (Oid.owner b.Heap.oid) && a != b then
+        local ctx a b
+    end
+  done;
+  Array.iter (fun o -> if Rng.bernoulli rng root_prob then Mutator.add_root cluster o) objs;
+  finish ctx []

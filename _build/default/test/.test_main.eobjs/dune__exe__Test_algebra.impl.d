@@ -1,0 +1,1 @@
+test/test_algebra.ml: Adgc_algebra Adgc_serial Alcotest Algebra Cdm Detection_id List Oid Proc_id QCheck2 QCheck_alcotest Ref_key String

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Adgc_algebra Adgc_baseline Adgc_rt Adgc_snapshot Adgc_util Adgc_workload Alcotest Array Cluster Lgc List Network Ref_key Reflist Runtime

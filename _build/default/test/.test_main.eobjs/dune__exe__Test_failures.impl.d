@@ -1,0 +1,1 @@
+test/test_failures.ml: Adgc Adgc_algebra Adgc_dcda Adgc_rt Adgc_util Adgc_workload Alcotest Churn Cluster Heap List Metrics Mutator Network Proc_id Process QCheck2 QCheck_alcotest Runtime Topology

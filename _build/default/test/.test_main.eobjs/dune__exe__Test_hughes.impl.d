@@ -1,0 +1,1 @@
+test/test_hughes.ml: Adgc Adgc_algebra Adgc_baseline Adgc_rt Adgc_util Adgc_workload Alcotest Cluster Heap List Mutator Runtime Topology

@@ -1,0 +1,1 @@
+test/test_integration.ml: Adgc Adgc_algebra Adgc_rt Adgc_util Adgc_workload Alcotest Churn List Metrics Printf Topology

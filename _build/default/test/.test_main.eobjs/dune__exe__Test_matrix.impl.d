@@ -1,0 +1,1 @@
+test/test_matrix.ml: Adgc Adgc_dcda Adgc_rt Adgc_serial Adgc_snapshot Adgc_workload Alcotest Bytes Char List Metrics Printf QCheck2 QCheck_alcotest String Topology

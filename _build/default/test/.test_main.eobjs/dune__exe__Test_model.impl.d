@@ -1,0 +1,1 @@
+test/test_model.ml: Adgc_algebra Adgc_rt Alcotest Array Int List Oid Option Proc_id QCheck2 QCheck_alcotest Ref_key Scion_table Stub_table

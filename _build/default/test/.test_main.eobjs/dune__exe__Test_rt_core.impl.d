@@ -1,0 +1,1 @@
+test/test_rt_core.ml: Adgc_algebra Adgc_rt Adgc_util Alcotest Array Format Heap List Msg Network Oid Option Proc_id Ref_key Scheduler Scion_table Stub_table

@@ -1,0 +1,1 @@
+test/test_rt_gc.ml: Adgc_algebra Adgc_rt Adgc_util Alcotest Array Cluster Format Heap Lgc List Mutator Network Oid Proc_id Process Pstore Ref_key Reflist Rmi Runtime Scion_table Stub_table

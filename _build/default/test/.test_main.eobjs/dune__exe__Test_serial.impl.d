@@ -1,0 +1,1 @@
+test/test_serial.ml: Adgc_serial Alcotest Bytes Float Int Int64 List QCheck2 QCheck_alcotest String

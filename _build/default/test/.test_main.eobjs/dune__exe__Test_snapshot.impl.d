@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Adgc_algebra Adgc_rt Adgc_serial Adgc_snapshot Adgc_util Adgc_workload Alcotest Array Cluster Heap List Mutator Oid Printf Proc_id Process Ref_key String

@@ -1,0 +1,1 @@
+test/test_util.ml: Adgc_util Alcotest Array Float Int Int64 List Printf String

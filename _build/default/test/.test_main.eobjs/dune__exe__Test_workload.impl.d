@@ -1,0 +1,1 @@
+test/test_workload.ml: Adgc_algebra Adgc_rt Adgc_snapshot Adgc_util Adgc_workload Alcotest Cluster Format Heap Lgc List Mutator Oid Option Proc_id Process Ref_key Scion_table

@@ -1,0 +1,480 @@
+(* Tests for identifiers and the CDM algebra, including a step-by-step
+   replay of the paper's Section 3 worked examples (Fig. 3 simple
+   cycle, Fig. 4 mutually-linked cycles, §3.2 invocation-counter
+   race). *)
+
+open Adgc_algebra
+
+let check = Alcotest.check
+
+(* Terse builders: [oid p serial], [rkey src (oid)] *)
+let oid p serial = Oid.make ~owner:(Proc_id.of_int p) ~serial
+
+let rkey src target = Ref_key.make ~src:(Proc_id.of_int src) ~target
+
+(* Objects of the paper's Fig. 3 (process numbers 1-based as in the
+   paper; serial numbers arbitrary but fixed). *)
+let f_p2 = oid 2 0 (* F in P2 *)
+
+let q_p4 = oid 4 0
+
+let o_p3 = oid 3 0
+
+let d_p1 = oid 1 0
+
+(* The references of the cycle, named by the paper's convention: the
+   entry "F_P2" is the reference from P1's stub to F. *)
+let ref_f = rkey 1 f_p2
+
+let ref_q = rkey 2 q_p4
+
+let ref_o = rkey 4 o_p3
+
+let ref_d = rkey 3 d_p1
+
+let add side alg (key, ic) = Algebra.add_exn alg side key ~ic
+
+let source_of = List.fold_left (add Algebra.Source) Algebra.empty
+
+let alg_of srcs tgts =
+  List.fold_left (add Algebra.Target) (source_of srcs) tgts
+
+let keys l = List.map fst l
+
+let refkey = Alcotest.testable Ref_key.pp Ref_key.equal
+
+type match_parts = { unresolved : (Ref_key.t * int) list; frontier : (Ref_key.t * int) list }
+
+let match_exn alg =
+  match Algebra.matching alg with
+  | Algebra.Match { unresolved; frontier } -> { unresolved; frontier }
+  | Algebra.Ic_abort _ -> Alcotest.fail "unexpected IC abort"
+
+(* ------------------------------------------------------------------ *)
+(* Identifier basics *)
+
+let test_proc_id () =
+  check Alcotest.int "roundtrip" 7 (Proc_id.to_int (Proc_id.of_int 7));
+  check Alcotest.bool "equal" true (Proc_id.equal (Proc_id.of_int 3) (Proc_id.of_int 3));
+  check Alcotest.string "pp" "P3" (Proc_id.to_string (Proc_id.of_int 3));
+  Alcotest.check_raises "negative" (Invalid_argument "Proc_id.of_int: negative") (fun () ->
+      ignore (Proc_id.of_int (-1)))
+
+let test_oid_ordering () =
+  let a = oid 1 5 and b = oid 1 6 and c = oid 2 0 in
+  check Alcotest.bool "serial order" true (Oid.compare a b < 0);
+  check Alcotest.bool "owner dominates" true (Oid.compare b c < 0);
+  check Alcotest.bool "equal" true (Oid.equal a (oid 1 5))
+
+let test_ref_key_ordering () =
+  let a = rkey 1 (oid 2 0) and b = rkey 1 (oid 2 1) and c = rkey 2 (oid 1 0) in
+  check Alcotest.bool "target order" true (Ref_key.compare a b < 0);
+  check Alcotest.bool "src dominates" true (Ref_key.compare b c < 0);
+  check Alcotest.string "owner" "P2" (Proc_id.to_string (Ref_key.owner a))
+
+let test_detection_id () =
+  let a = Detection_id.make ~initiator:(Proc_id.of_int 1) ~seq:3 in
+  let b = Detection_id.make ~initiator:(Proc_id.of_int 1) ~seq:4 in
+  check Alcotest.bool "ordered by seq" true (Detection_id.compare a b < 0);
+  check Alcotest.string "pp" "D3@P1" (Detection_id.to_string a)
+
+(* ------------------------------------------------------------------ *)
+(* Algebra construction *)
+
+let test_add_dedupe () =
+  let alg = source_of [ (ref_f, 3); (ref_f, 3) ] in
+  check Alcotest.int "one entry" 1 (fst (Algebra.cardinal alg))
+
+let test_add_conflict () =
+  let alg = source_of [ (ref_f, 3) ] in
+  match Algebra.add alg Algebra.Source ref_f ~ic:4 with
+  | Algebra.Ic_conflict { existing = 3; incoming = 4; _ } -> ()
+  | Algebra.Ic_conflict _ -> Alcotest.fail "wrong conflict values"
+  | Algebra.Added _ -> Alcotest.fail "expected conflict"
+
+let test_sides_independent () =
+  (* The same key may appear on both sides (that is how cancellation
+     works); only same-side duplicates with different ICs conflict. *)
+  let alg = alg_of [ (ref_f, 3) ] [ (ref_f, 3) ] in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "one each" (1, 1) (Algebra.cardinal alg)
+
+let test_mem_and_ic () =
+  let alg = alg_of [ (ref_f, 3) ] [ (ref_q, 1) ] in
+  check Alcotest.bool "mem source" true (Algebra.mem alg Algebra.Source ref_f);
+  check Alcotest.bool "not in target" false (Algebra.mem alg Algebra.Target ref_f);
+  check (Alcotest.option Alcotest.int) "ic" (Some 1) (Algebra.ic alg Algebra.Target ref_q)
+
+let test_equal () =
+  let a = alg_of [ (ref_f, 0) ] [ (ref_q, 0) ] in
+  let b = alg_of [ (ref_f, 0) ] [ (ref_q, 0) ] in
+  let c = alg_of [ (ref_f, 1) ] [ (ref_q, 0) ] in
+  check Alcotest.bool "equal" true (Algebra.equal a b);
+  check Alcotest.bool "ic matters" false (Algebra.equal a c)
+
+(* ------------------------------------------------------------------ *)
+(* Matching semantics *)
+
+let test_matching_empty () =
+  match match_exn Algebra.empty with
+  | { unresolved = []; frontier = [] } -> ()
+  | _ -> Alcotest.fail "empty should match empty"
+
+let test_matching_disjoint () =
+  let alg = alg_of [ (ref_f, 0) ] [ (ref_q, 0) ] in
+  let m = match_exn alg in
+  check (Alcotest.list refkey) "unresolved" [ ref_f ] (keys m.unresolved);
+  check (Alcotest.list refkey) "frontier" [ ref_q ] (keys m.frontier);
+  check Alcotest.bool "not a cycle" false (Algebra.cycle_found alg)
+
+let test_matching_cancels () =
+  let alg = alg_of [ (ref_f, 0); (ref_q, 2) ] [ (ref_q, 2); (ref_o, 0) ] in
+  let m = match_exn alg in
+  check (Alcotest.list refkey) "unresolved" [ ref_f ] (keys m.unresolved);
+  check (Alcotest.list refkey) "frontier" [ ref_o ] (keys m.frontier)
+
+let test_matching_complete_cycle () =
+  let entries = [ (ref_f, 0); (ref_q, 0); (ref_o, 0); (ref_d, 0) ] in
+  let alg = alg_of entries entries in
+  check Alcotest.bool "cycle found" true (Algebra.cycle_found alg)
+
+let test_matching_ic_abort () =
+  let alg = alg_of [ (ref_f, 3) ] [ (ref_f, 4) ] in
+  (match Algebra.matching alg with
+  | Algebra.Ic_abort { key; source_ic = 3; target_ic = 4 } ->
+      check refkey "key" ref_f key
+  | Algebra.Ic_abort _ -> Alcotest.fail "wrong ics"
+  | Algebra.Match _ -> Alcotest.fail "expected abort");
+  check Alcotest.bool "no cycle on abort" false (Algebra.cycle_found alg)
+
+(* ------------------------------------------------------------------ *)
+(* Paper Fig. 3, steps 1-26 *)
+
+let test_paper_fig3_steps () =
+  (* Step 1: F_P2 chosen as candidate. *)
+  let alg0 = source_of [ (ref_f, 0) ] in
+  (* Steps 2-3: StubsFrom(F_P2) = {Q_P4}. *)
+  let alg1 = add Algebra.Target alg0 (ref_q, 0) in
+  (* Step 6: matching at P4 -> {{F} -> {Q}} : no cycle. *)
+  let m1 = match_exn alg1 in
+  check (Alcotest.list refkey) "step6 source" [ ref_f ] (keys m1.unresolved);
+  check (Alcotest.list refkey) "step6 target" [ ref_q ] (keys m1.frontier);
+  check Alcotest.bool "step7 no cycle" false (Algebra.cycle_found alg1);
+  (* Steps 8-10 at P4: add scion Q (arrival), stub O. *)
+  let alg2 = add Algebra.Target (add Algebra.Source alg1 (ref_q, 0)) (ref_o, 0) in
+  (* Step 13 at P3: matching -> {{F} -> {O}}. *)
+  let alg2 = add Algebra.Source alg2 (ref_q, 0) in
+  let m2 = match_exn alg2 in
+  check (Alcotest.list refkey) "step13 source" [ ref_f ] (keys m2.unresolved);
+  check (Alcotest.list refkey) "step13 target" [ ref_o ] (keys m2.frontier);
+  (* Steps 15-16 at P3. *)
+  let alg3 = add Algebra.Target (add Algebra.Source alg2 (ref_o, 0)) (ref_d, 0) in
+  (* Step 19 at P1: matching -> {{F} -> {D}}. *)
+  let m3 = match_exn alg3 in
+  check (Alcotest.list refkey) "step19 source" [ ref_f ] (keys m3.unresolved);
+  check (Alcotest.list refkey) "step19 target" [ ref_d ] (keys m3.frontier);
+  (* Steps 21-22 at P1. *)
+  let alg4 = add Algebra.Target (add Algebra.Source alg3 (ref_d, 0)) (ref_f, 0) in
+  (* Steps 24-26 at P2: {{} -> {}} -> cycle found. *)
+  let m4 = match_exn alg4 in
+  check (Alcotest.list refkey) "step25 source empty" [] (keys m4.unresolved);
+  check (Alcotest.list refkey) "step25 target empty" [] (keys m4.frontier);
+  check Alcotest.bool "step26 cycle" true (Algebra.cycle_found alg4)
+
+(* ------------------------------------------------------------------ *)
+(* Paper Fig. 4 (mutually-linked cycles), key matchings *)
+
+let v_p5 = oid 5 0
+
+let y_p5 = oid 5 1
+
+let t_p4 = oid 4 1
+
+let k_p3 = oid 3 1
+
+let zb_p6 = oid 6 0
+
+let ref_v = rkey 2 v_p5 (* F_P2 -> V_P5 *)
+
+let ref_y = rkey 6 y_p5 (* ZD_P6 -> Y_P5 *)
+
+let ref_t = rkey 5 t_p4 (* {V,Y}_P5 -> T_P4: one shared stub *)
+
+let ref_d4 = rkey 4 d_p1 (* T_P4 -> D_P1 *)
+
+let ref_f4 = rkey 1 f_p2 (* D_P1 -> F_P2 *)
+
+let ref_k = rkey 2 k_p3 (* F_P2 -> K_P3 *)
+
+let ref_zb = rkey 3 zb_p6 (* K_P3 -> ZB_P6 *)
+
+let test_paper_fig4_steps () =
+  (* Steps 1-3 at P2: two derivations from candidate F. *)
+  let alg0 = source_of [ (ref_f4, 0) ] in
+  let alg1a = add Algebra.Target alg0 (ref_v, 0) in
+  (* Steps 4-6 at P5: arrival V, extra dependency Y (ScionsTo of the
+     shared stub to T), stub T. *)
+  let alg2a =
+    alg1a
+    |> fun a ->
+    add Algebra.Source a (ref_v, 0)
+    |> fun a -> add Algebra.Source a (ref_y, 0) |> fun a -> add Algebra.Target a (ref_t, 0)
+  in
+  (* Step 7 at P4. *)
+  let alg3a =
+    add Algebra.Target (add Algebra.Source alg2a (ref_t, 0)) (ref_d4, 0)
+  in
+  (* Step 8 at P1. *)
+  let alg4a =
+    add Algebra.Target (add Algebra.Source alg3a (ref_d4, 0)) (ref_f4, 0)
+  in
+  (* Step 10 at P2: matching -> {{Y_P5} -> {}} — dependency on Y still
+     unresolved; no cycle (step 11). *)
+  let m = match_exn alg4a in
+  check (Alcotest.list refkey) "step10 unresolved Y" [ ref_y ] (keys m.unresolved);
+  check (Alcotest.list refkey) "step10 empty frontier" [] (keys m.frontier);
+  check Alcotest.bool "step11 no cycle" false (Algebra.cycle_found alg4a);
+  (* Steps 12-15 at P2: derivation along V again equals the delivered
+     algebra -> terminate that branch (no new information). *)
+  let alg5ab = add Algebra.Target alg4a (ref_v, 0) in
+  check Alcotest.bool "step15 no new info" true (Algebra.equal alg5ab alg4a);
+  (* Derivation along K is new. *)
+  let alg5aa = add Algebra.Target alg4a (ref_k, 0) in
+  check Alcotest.bool "step13 is new" false (Algebra.equal alg5aa alg4a);
+  (* Step 17 at P3: matching of the delivered algebra (the arrival
+     scion K joins the source set only when the next derivation is
+     prepared, step 20) -> {{Y} -> {K}}. *)
+  let m = match_exn alg5aa in
+  check (Alcotest.list refkey) "step17 unresolved" [ ref_y ] (keys m.unresolved);
+  check (Alcotest.list refkey) "step17 frontier" [ ref_k ] (keys m.frontier);
+  (* Steps 19-20 at P3: source += K, target += ZB.  Step 21 at P6:
+     matching -> {{Y} -> {ZB}}. *)
+  let alg6aa = add Algebra.Target (add Algebra.Source alg5aa (ref_k, 0)) (ref_zb, 0) in
+  let m = match_exn alg6aa in
+  check (Alcotest.list refkey) "step21 unresolved" [ ref_y ] (keys m.unresolved);
+  check (Alcotest.list refkey) "step21 frontier" [ ref_zb ] (keys m.frontier);
+  (* Steps 23-24 at P6: source += ZB, target += Y. Step 25 at P5:
+     {{} -> {}}. *)
+  let alg7aa = add Algebra.Target (add Algebra.Source alg6aa (ref_zb, 0)) (ref_y, 0) in
+  check Alcotest.bool "step26 cycle found" true (Algebra.cycle_found alg7aa)
+
+(* ------------------------------------------------------------------ *)
+(* Paper §3.2: the invocation-counter race *)
+
+let test_paper_race_ic_mismatch () =
+  (* Detection started with Scion(F_P2) at IC = x; the mutator then
+     invoked through the reference, so P1's later snapshot carries the
+     stub at IC = x+1.  Matching must abort, not find a cycle. *)
+  let x = 5 in
+  let alg =
+    alg_of
+      [ (ref_f4, x); (ref_v, 0); (ref_t, 0); (ref_d4, 0) ]
+      [ (ref_v, 0); (ref_t, 0); (ref_d4, 0) ]
+  in
+  match Algebra.add alg Algebra.Target ref_f4 ~ic:(x + 1) with
+  | Algebra.Ic_conflict _ -> Alcotest.fail "sides are independent; no conflict on add"
+  | Algebra.Added alg -> (
+      match Algebra.matching alg with
+      | Algebra.Ic_abort { key; source_ic; target_ic } ->
+          check refkey "aborts on F" ref_f4 key;
+          check Alcotest.int "source ic" x source_ic;
+          check Alcotest.int "target ic" (x + 1) target_ic
+      | Algebra.Match _ -> Alcotest.fail "race not detected")
+
+(* ------------------------------------------------------------------ *)
+(* Extra dependency prevents wrong detection (Fig. 1 situation) *)
+
+let test_extra_dependency_blocks () =
+  (* A 2-cycle F <-> Q with an extra incoming reference W -> F from P9:
+     even after the full loop, the W dependency stays unresolved. *)
+  let w_ref = rkey 9 f_p2 in
+  let alg =
+    alg_of
+      [ (ref_f, 0); (w_ref, 0); (ref_q, 0) ]
+      [ (ref_q, 0); (ref_f, 0) ]
+  in
+  let m = match_exn alg in
+  check (Alcotest.list refkey) "W unresolved" [ w_ref ] (keys m.unresolved);
+  check Alcotest.bool "no cycle" false (Algebra.cycle_found alg)
+
+(* ------------------------------------------------------------------ *)
+(* Wire format *)
+
+let test_sval_roundtrip () =
+  let alg = alg_of [ (ref_f, 3); (ref_y, 1) ] [ (ref_q, 2) ] in
+  match Algebra.of_sval (Algebra.to_sval alg) with
+  | Some alg' -> check Alcotest.bool "roundtrip" true (Algebra.equal alg alg')
+  | None -> Alcotest.fail "decode failed"
+
+let test_compact_sval_roundtrip () =
+  let alg = alg_of [ (ref_f, 3); (ref_y, 1); (ref_q, 2) ] [ (ref_q, 2); (ref_o, 0) ] in
+  match Algebra.of_sval (Algebra.to_sval_compact alg) with
+  | Some alg' -> check Alcotest.bool "roundtrip" true (Algebra.equal alg alg')
+  | None -> Alcotest.fail "decode failed"
+
+let test_compact_dedupes_shared_entries () =
+  (* A fully-cancelled algebra (every key on both sides, equal ICs)
+     must be about half the size of the plain encoding — measured on
+     enough entries that per-message overheads do not dominate. *)
+  let entries = List.init 16 (fun i -> (rkey (i mod 5) (oid ((i + 1) mod 5) i), 0)) in
+  let alg = alg_of entries entries in
+  let measure sval = String.length (Adgc_serial.Net_codec.encode sval) in
+  let plain = measure (Algebra.to_sval alg) in
+  let compact = measure (Algebra.to_sval_compact alg) in
+  check Alcotest.bool "compact smaller" true (compact * 3 < plain * 2);
+  (* Round-trips exactly. *)
+  match Algebra.of_sval (Algebra.to_sval_compact alg) with
+  | Some alg' -> check Alcotest.bool "equal" true (Algebra.equal alg alg')
+  | None -> Alcotest.fail "decode failed"
+
+let test_compact_keeps_ic_conflicts_apart () =
+  (* Same key on both sides with different ICs: must be written twice
+     and decode back to the conflicting state (which matching then
+     aborts on). *)
+  let alg = alg_of [ (ref_f, 3) ] [ (ref_f, 4) ] in
+  match Algebra.of_sval (Algebra.to_sval_compact alg) with
+  | Some alg' -> (
+      check Alcotest.bool "equal" true (Algebra.equal alg alg');
+      match Algebra.matching alg' with
+      | Algebra.Ic_abort _ -> ()
+      | Algebra.Match _ -> Alcotest.fail "conflict lost in the encoding")
+  | None -> Alcotest.fail "decode failed"
+
+let test_sval_rejects_junk () =
+  check Alcotest.bool "junk rejected" true (Algebra.of_sval (Adgc_serial.Sval.Int 3) = None)
+
+let test_cdm_sval_roundtrip () =
+  let alg = alg_of [ (ref_f, 3) ] [ (ref_q, 2) ] in
+  let id = Detection_id.make ~initiator:(Proc_id.of_int 2) ~seq:9 in
+  let cdm = Cdm.make ~id ~algebra:alg ~frontier:ref_q ~hops:4 ~budget:9 in
+  match Cdm.of_sval (Cdm.to_sval cdm) with
+  | Some cdm' ->
+      check Alcotest.bool "id" true (Detection_id.equal cdm.Cdm.id cdm'.Cdm.id);
+      check refkey "frontier" cdm.Cdm.frontier cdm'.Cdm.frontier;
+      check Alcotest.int "hops" 4 cdm'.Cdm.hops;
+      check Alcotest.int "budget" 9 cdm'.Cdm.budget;
+      check Alcotest.bool "algebra" true (Algebra.equal cdm.Cdm.algebra cdm'.Cdm.algebra)
+  | None -> Alcotest.fail "decode failed"
+
+let test_cdm_dest () =
+  let alg = alg_of [ (ref_f, 0) ] [ (ref_q, 0) ] in
+  let id = Detection_id.make ~initiator:(Proc_id.of_int 2) ~seq:0 in
+  let cdm = Cdm.make ~id ~algebra:alg ~frontier:ref_q ~hops:1 ~budget:4 in
+  check Alcotest.int "dest is target owner" 4 (Proc_id.to_int (Cdm.dest cdm))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let gen_ref =
+  let open QCheck2.Gen in
+  map3
+    (fun src owner serial -> rkey src (oid owner serial))
+    (int_range 0 5) (int_range 0 5) (int_range 0 3)
+
+let gen_entries = QCheck2.Gen.(list_size (int_bound 12) (pair gen_ref (int_range 0 3)))
+
+let prop_cycle_iff_equal_sets =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"cycle_found iff source = target with equal ICs" ~count:500
+       gen_entries (fun entries ->
+         (* Dedupe by key to build a valid algebra. *)
+         let dedup =
+           List.fold_left
+             (fun acc (k, ic) -> if List.mem_assoc k acc then acc else (k, ic) :: acc)
+             [] entries
+         in
+         let alg = alg_of dedup dedup in
+         Algebra.cycle_found alg))
+
+let prop_matching_partitions =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"matching partitions the union of keys" ~count:500
+       QCheck2.Gen.(pair gen_entries gen_entries)
+       (fun (src, tgt) ->
+         let dedup l =
+           List.fold_left
+             (fun acc (k, ic) -> if List.mem_assoc k acc then acc else (k, ic) :: acc)
+             [] l
+         in
+         let src = dedup src and tgt = dedup tgt in
+         let alg = alg_of src tgt in
+         match Algebra.matching alg with
+         | Algebra.Ic_abort { key; _ } ->
+             (* Abort only when the same key appears on both sides with
+                different ICs. *)
+             let s = List.assoc key src and t = List.assoc key tgt in
+             s <> t
+         | Algebra.Match { unresolved; frontier } ->
+             (* Unresolved keys are source-only; frontier keys are
+                target-only; cancelled keys had equal ICs. *)
+             List.for_all (fun (k, _) -> not (List.mem_assoc k tgt)) unresolved
+             && List.for_all (fun (k, _) -> not (List.mem_assoc k src)) frontier
+             && List.for_all
+                  (fun (k, ic) ->
+                    match List.assoc_opt k tgt with
+                    | Some ic' -> ic = ic' || List.mem_assoc k unresolved
+                    | None -> true)
+                  src))
+
+let prop_compact_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"compact algebra sval roundtrip" ~count:300
+       QCheck2.Gen.(pair gen_entries gen_entries)
+       (fun (src, tgt) ->
+         let dedup l =
+           List.fold_left
+             (fun acc (k, ic) -> if List.mem_assoc k acc then acc else (k, ic) :: acc)
+             [] l
+         in
+         let alg = alg_of (dedup src) (dedup tgt) in
+         match Algebra.of_sval (Algebra.to_sval_compact alg) with
+         | Some alg' -> Algebra.equal alg alg'
+         | None -> false))
+
+let prop_sval_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"algebra sval roundtrip" ~count:300
+       QCheck2.Gen.(pair gen_entries gen_entries)
+       (fun (src, tgt) ->
+         let dedup l =
+           List.fold_left
+             (fun acc (k, ic) -> if List.mem_assoc k acc then acc else (k, ic) :: acc)
+             [] l
+         in
+         let alg = alg_of (dedup src) (dedup tgt) in
+         match Algebra.of_sval (Algebra.to_sval alg) with
+         | Some alg' -> Algebra.equal alg alg'
+         | None -> false))
+
+let suite =
+  ( "algebra",
+    [
+      Alcotest.test_case "proc_id basics" `Quick test_proc_id;
+      Alcotest.test_case "oid ordering" `Quick test_oid_ordering;
+      Alcotest.test_case "ref_key ordering" `Quick test_ref_key_ordering;
+      Alcotest.test_case "detection_id" `Quick test_detection_id;
+      Alcotest.test_case "add: dedupe" `Quick test_add_dedupe;
+      Alcotest.test_case "add: IC conflict" `Quick test_add_conflict;
+      Alcotest.test_case "sides independent" `Quick test_sides_independent;
+      Alcotest.test_case "mem and ic" `Quick test_mem_and_ic;
+      Alcotest.test_case "equality" `Quick test_equal;
+      Alcotest.test_case "matching: empty" `Quick test_matching_empty;
+      Alcotest.test_case "matching: disjoint" `Quick test_matching_disjoint;
+      Alcotest.test_case "matching: cancellation" `Quick test_matching_cancels;
+      Alcotest.test_case "matching: complete cycle" `Quick test_matching_complete_cycle;
+      Alcotest.test_case "matching: IC abort" `Quick test_matching_ic_abort;
+      Alcotest.test_case "paper fig3 steps 1-26" `Quick test_paper_fig3_steps;
+      Alcotest.test_case "paper fig4 mutual cycles" `Quick test_paper_fig4_steps;
+      Alcotest.test_case "paper §3.2 IC race" `Quick test_paper_race_ic_mismatch;
+      Alcotest.test_case "extra dependency blocks detection" `Quick test_extra_dependency_blocks;
+      Alcotest.test_case "algebra sval roundtrip" `Quick test_sval_roundtrip;
+      Alcotest.test_case "compact sval roundtrip" `Quick test_compact_sval_roundtrip;
+      Alcotest.test_case "compact encoding dedupes" `Quick test_compact_dedupes_shared_entries;
+      Alcotest.test_case "compact keeps IC conflicts" `Quick test_compact_keeps_ic_conflicts_apart;
+      Alcotest.test_case "algebra sval rejects junk" `Quick test_sval_rejects_junk;
+      Alcotest.test_case "cdm sval roundtrip" `Quick test_cdm_sval_roundtrip;
+      Alcotest.test_case "cdm dest" `Quick test_cdm_dest;
+      prop_cycle_iff_equal_sets;
+      prop_matching_partitions;
+      prop_sval_roundtrip;
+      prop_compact_roundtrip;
+    ] )

@@ -1,0 +1,21 @@
+(* Aggregates every suite; `dune runtest` runs them all. *)
+
+let () =
+  Alcotest.run "adgc"
+    [
+      Test_util.suite;
+      Test_serial.suite;
+      Test_algebra.suite;
+      Test_rt_core.suite;
+      Test_rt_gc.suite;
+      Test_snapshot.suite;
+      Test_detector.suite;
+      Test_baseline.suite;
+      Test_workload.suite;
+      Test_integration.suite;
+      Test_failures.suite;
+      Test_hughes.suite;
+      Test_model.suite;
+      Test_matrix.suite;
+      Test_sim.suite;
+    ]

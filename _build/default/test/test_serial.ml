@@ -1,0 +1,229 @@
+(* Tests for the wire primitives and both codecs, including the
+   qcheck roundtrip property each codec must satisfy. *)
+
+module Sval = Adgc_serial.Sval
+module Wire = Adgc_serial.Wire
+module Codec = Adgc_serial.Codec
+
+let rotor = (module Adgc_serial.Rotor_codec : Codec.S)
+
+let net = (module Adgc_serial.Net_codec : Codec.S)
+
+let check = Alcotest.check
+
+let sval = Alcotest.testable Sval.pp Sval.equal
+
+(* ------------------------------------------------------------------ *)
+(* Wire *)
+
+let test_wire_varint_roundtrip () =
+  let cases = [ 0; 1; -1; 63; 64; -64; 127; 128; 300; -300; 1 lsl 40; -(1 lsl 40); max_int; min_int + 1 ] in
+  let w = Wire.Writer.create () in
+  List.iter (Wire.Writer.varint w) cases;
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  List.iter (fun v -> check Alcotest.int (string_of_int v) v (Wire.Reader.varint r)) cases;
+  check Alcotest.bool "consumed all" true (Wire.Reader.at_end r)
+
+let test_wire_varint_small_is_one_byte () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.varint w 5;
+  check Alcotest.int "1 byte" 1 (Wire.Writer.length w);
+  let w2 = Wire.Writer.create () in
+  Wire.Writer.varint w2 (-3);
+  check Alcotest.int "negative small also 1 byte" 1 (Wire.Writer.length w2)
+
+let test_wire_int64_roundtrip () =
+  let cases = [ 0L; 1L; -1L; Int64.max_int; Int64.min_int; 0xDEADBEEFL ] in
+  let w = Wire.Writer.create () in
+  List.iter (Wire.Writer.int64 w) cases;
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  List.iter (fun v -> check Alcotest.int64 (Int64.to_string v) v (Wire.Reader.int64 r)) cases
+
+let test_wire_float_roundtrip () =
+  let cases = [ 0.0; -0.0; 1.5; -3.25; Float.max_float; Float.min_float; infinity; neg_infinity ] in
+  let w = Wire.Writer.create () in
+  List.iter (Wire.Writer.float w) cases;
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  List.iter (fun v -> check (Alcotest.float 0.0) (string_of_float v) v (Wire.Reader.float r)) cases;
+  (* nan compares unequal; check bits instead *)
+  let w2 = Wire.Writer.create () in
+  Wire.Writer.float w2 Float.nan;
+  let r2 = Wire.Reader.of_string (Wire.Writer.contents w2) in
+  check Alcotest.bool "nan" true (Float.is_nan (Wire.Reader.float r2))
+
+let test_wire_string_roundtrip () =
+  let cases = [ ""; "a"; "hello world"; String.make 1000 '\x00'; "\xff\xfe" ] in
+  let w = Wire.Writer.create () in
+  List.iter (Wire.Writer.string w) cases;
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  List.iter (fun v -> check Alcotest.string "string" v (Wire.Reader.string r)) cases
+
+let test_wire_truncated_fails () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.string w "hello";
+  let full = Wire.Writer.contents w in
+  let cut = String.sub full 0 (String.length full - 2) in
+  let r = Wire.Reader.of_string cut in
+  match Wire.Reader.string r with
+  | _ -> Alcotest.fail "expected Malformed"
+  | exception Wire.Malformed _ -> ()
+
+let test_wire_expect () =
+  let r = Wire.Reader.of_string "abcdef" in
+  Wire.Reader.expect r "abc";
+  check Alcotest.int "pos" 3 (Wire.Reader.pos r);
+  (match Wire.Reader.expect r "XYZ" with
+  | () -> Alcotest.fail "expected Malformed"
+  | exception Wire.Malformed _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Codecs: hand-picked documents *)
+
+let samples =
+  [
+    Sval.Unit;
+    Sval.Bool true;
+    Sval.Bool false;
+    Sval.Int 0;
+    Sval.Int (-12345);
+    Sval.Int max_int;
+    Sval.Float 3.14159;
+    Sval.Float (-0.0);
+    Sval.Float infinity;
+    Sval.Str "";
+    Sval.Str "plain";
+    Sval.Str "with <angle> & \"quotes\" and\nnewlines\x00\x7f";
+    Sval.List [];
+    Sval.List [ Sval.Int 1; Sval.Str "two"; Sval.Bool false ];
+    Sval.Record ("empty", []);
+    Sval.Record
+      ( "node",
+        [
+          ("left", Sval.Record ("leaf", [ ("v", Sval.Int 1) ]));
+          ("right", Sval.List [ Sval.Unit; Sval.Unit ]);
+          ("name", Sval.Str "x&y<z>") ;
+        ] );
+  ]
+
+let roundtrip_samples codec name () =
+  List.iter
+    (fun v -> check sval name v (Codec.roundtrip codec v))
+    samples
+
+let test_nan_roundtrip () =
+  List.iter
+    (fun codec ->
+      match Codec.roundtrip codec (Sval.Float Float.nan) with
+      | Sval.Float f -> check Alcotest.bool "nan" true (Float.is_nan f)
+      | _ -> Alcotest.fail "expected float")
+    [ rotor; net ]
+
+let test_rotor_is_much_larger () =
+  let doc = Sval.List (List.init 100 (fun i -> Sval.Record ("o", [ ("v", Sval.Int i) ]))) in
+  let r = String.length (Codec.encode rotor doc) in
+  let n = String.length (Codec.encode net doc) in
+  if r < 10 * n then Alcotest.failf "rotor %d bytes vs net %d bytes: expected >= 10x" r n
+
+let test_rotor_checksum_detects_corruption () =
+  let doc = Sval.Record ("r", [ ("a", Sval.Int 7) ]) in
+  let enc = Codec.encode rotor doc in
+  (* Flip a payload character (the digit 7). *)
+  let i = String.index enc '7' in
+  let corrupted = Bytes.of_string enc in
+  Bytes.set corrupted i '8';
+  match Codec.decode rotor (Bytes.to_string corrupted) with
+  | _ -> Alcotest.fail "expected Malformed"
+  | exception Wire.Malformed { what; _ } ->
+      check Alcotest.string "checksum error" "checksum mismatch" what
+
+let test_net_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Codec.decode net s with
+      | _ -> Alcotest.failf "accepted %S" s
+      | exception Wire.Malformed _ -> ())
+    [ ""; "\xff"; "\x06\x03\x00"; "\x05\x20abc" ]
+
+let test_net_rejects_trailing () =
+  let enc = Codec.encode net (Sval.Int 1) ^ "\x00" in
+  match Codec.decode net enc with
+  | _ -> Alcotest.fail "expected Malformed"
+  | exception Wire.Malformed { what; _ } -> check Alcotest.string "trailing" "trailing bytes" what
+
+let test_rotor_rejects_missing_checksum () =
+  match Codec.decode rotor "<soap:Envelope>..." with
+  | _ -> Alcotest.fail "expected Malformed"
+  | exception Wire.Malformed _ -> ()
+
+let test_net_interning_shares_names () =
+  (* 100 records of the same type: the name should be written once. *)
+  let doc = Sval.List (List.init 100 (fun i -> Sval.Record ("very_long_record_type_name", [ ("field_name_also_long", Sval.Int i) ]))) in
+  let bytes = String.length (Codec.encode net doc) in
+  (* Non-interned lower bound would be 100 * (26+20) name bytes alone. *)
+  check Alcotest.bool "interned" true (bytes < 1000)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random document roundtrips *)
+
+let gen_sval =
+  let open QCheck2.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let leaf =
+            oneof
+              [
+                return Sval.Unit;
+                map (fun b -> Sval.Bool b) bool;
+                map (fun i -> Sval.Int i) int;
+                map (fun f -> Sval.Float f) float;
+                map (fun s -> Sval.Str s) string_printable;
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            oneof
+              [
+                leaf;
+                map (fun l -> Sval.List l) (list_size (int_bound 4) (self (n / 2)));
+                map2
+                  (fun name fields -> Sval.Record (name, fields))
+                  (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+                  (list_size (int_bound 4)
+                     (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)) (self (n / 2))));
+              ])
+        (Int.min n 6))
+
+let qcheck_roundtrip codec name =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:300 gen_sval (fun v ->
+         Sval.equal v (Codec.roundtrip codec v)))
+
+let test_size_nodes () =
+  check Alcotest.int "leaf" 1 (Sval.size_nodes Sval.Unit);
+  check Alcotest.int "list" 3 (Sval.size_nodes (Sval.List [ Sval.Int 1; Sval.Int 2 ]));
+  check Alcotest.int "record" 2 (Sval.size_nodes (Sval.Record ("r", [ ("a", Sval.Unit) ])))
+
+let suite =
+  ( "serial",
+    [
+      Alcotest.test_case "wire: varint roundtrip" `Quick test_wire_varint_roundtrip;
+      Alcotest.test_case "wire: small varints are 1 byte" `Quick test_wire_varint_small_is_one_byte;
+      Alcotest.test_case "wire: int64 roundtrip" `Quick test_wire_int64_roundtrip;
+      Alcotest.test_case "wire: float roundtrip" `Quick test_wire_float_roundtrip;
+      Alcotest.test_case "wire: string roundtrip" `Quick test_wire_string_roundtrip;
+      Alcotest.test_case "wire: truncated input fails" `Quick test_wire_truncated_fails;
+      Alcotest.test_case "wire: expect" `Quick test_wire_expect;
+      Alcotest.test_case "rotor: sample roundtrips" `Quick (roundtrip_samples rotor "rotor");
+      Alcotest.test_case "net: sample roundtrips" `Quick (roundtrip_samples net "net");
+      Alcotest.test_case "codecs: nan" `Quick test_nan_roundtrip;
+      Alcotest.test_case "rotor is >= 10x larger than net" `Quick test_rotor_is_much_larger;
+      Alcotest.test_case "rotor: checksum detects corruption" `Quick test_rotor_checksum_detects_corruption;
+      Alcotest.test_case "net: rejects garbage" `Quick test_net_rejects_garbage;
+      Alcotest.test_case "net: rejects trailing bytes" `Quick test_net_rejects_trailing;
+      Alcotest.test_case "rotor: rejects missing checksum" `Quick test_rotor_rejects_missing_checksum;
+      Alcotest.test_case "net: name interning" `Quick test_net_interning_shares_names;
+      Alcotest.test_case "sval: size_nodes" `Quick test_size_nodes;
+      qcheck_roundtrip rotor "qcheck rotor roundtrip";
+      qcheck_roundtrip net "qcheck net roundtrip";
+    ] )

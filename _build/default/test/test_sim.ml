@@ -1,0 +1,129 @@
+(* Sim-level API tests: assembly, accessors, timer lifecycle, manual
+   driving, and pretty-printer coverage for the public value types. *)
+
+open Adgc_algebra
+open Adgc_workload
+module Sim = Adgc.Sim
+module Config = Adgc.Config
+module Cluster = Adgc_rt.Cluster
+
+let check = Alcotest.check
+
+let test_accessor_mismatch_raises () =
+  let sim = Sim.create ~config:(Config.quick ()) () in
+  ignore (Sim.detector sim 0 : Adgc_dcda.Detector.t);
+  Alcotest.check_raises "backtracker on dcda sim"
+    (Invalid_argument "Sim.backtracker: not running the baseline") (fun () ->
+      ignore (Sim.backtracker sim 0));
+  let config = { (Config.quick ()) with Config.detector = Config.Backtrack } in
+  let sim = Sim.create ~config () in
+  ignore (Sim.backtracker sim 0 : Adgc_baseline.Backtrack.t);
+  Alcotest.check_raises "detector on backtrack sim"
+    (Invalid_argument "Sim.detector: not running the DCDA") (fun () ->
+      ignore (Sim.detector sim 0))
+
+let test_start_is_idempotent () =
+  let sim = Sim.create ~config:(Config.quick ()) () in
+  Sim.start sim;
+  Sim.start sim;
+  Sim.run_for sim 2_000;
+  let runs = Adgc_util.Stats.get (Sim.stats sim) "lgc.runs" in
+  (* 4 procs, period 300, 2000 ticks -> ~6 runs each; double timers
+     would show ~2x. *)
+  check Alcotest.bool "single set of timers" true (runs <= 4 * 7)
+
+let test_stop_then_restart () =
+  let sim = Sim.create ~config:(Config.quick ()) () in
+  Sim.start sim;
+  Sim.run_for sim 1_000;
+  Sim.stop sim;
+  let frozen = Adgc_util.Stats.get (Sim.stats sim) "snapshot.taken" in
+  Sim.run_for sim 5_000;
+  check Alcotest.int "no snapshots while stopped" frozen
+    (Adgc_util.Stats.get (Sim.stats sim) "snapshot.taken");
+  Sim.start sim;
+  Sim.run_for sim 2_000;
+  check Alcotest.bool "resumed" true
+    (Adgc_util.Stats.get (Sim.stats sim) "snapshot.taken" > frozen)
+
+let test_scan_all_counts () =
+  let sim = Sim.create ~config:(Config.quick ~n_procs:3 ()) () in
+  let _r = Topology.ring (Sim.cluster sim) ~procs:[ 0; 1; 2 ] in
+  Sim.run_for sim 1_000;
+  Sim.snapshot_all sim;
+  let started = Sim.scan_all sim in
+  (* One candidate scion per process. *)
+  check Alcotest.int "three detections" 3 started
+
+let test_reports_sorted_by_time () =
+  let sim = Sim.create ~config:(Config.quick ~n_procs:6 ()) () in
+  let _r1 = Topology.ring (Sim.cluster sim) ~procs:[ 0; 1 ] in
+  let _r2 = Topology.ring (Sim.cluster sim) ~procs:[ 2; 3 ] in
+  let _r3 = Topology.ring (Sim.cluster sim) ~procs:[ 4; 5 ] in
+  Sim.start sim;
+  Sim.run_for sim 30_000;
+  let times = List.map (fun r -> r.Adgc_dcda.Report.concluded_time) (Sim.reports sim) in
+  check Alcotest.bool "some reports" true (times <> []);
+  check Alcotest.bool "sorted" true (List.sort compare times = times)
+
+let test_live_oids_matches_ground_truth () =
+  let sim = Sim.create ~config:(Config.quick ~n_procs:3 ()) () in
+  let built = Topology.rooted_ring (Sim.cluster sim) ~procs:[ 0; 1; 2 ] in
+  let live = Sim.live_oids sim in
+  check Alcotest.int "three live" 3 (Oid.Set.cardinal live);
+  check Alcotest.bool "contains the root" true
+    (Oid.Set.mem (Topology.oid built "n0_0") live)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printer coverage for public value types *)
+
+let test_pp_coverage () =
+  let oid = Oid.make ~owner:(Proc_id.of_int 2) ~serial:7 in
+  check Alcotest.string "oid" "#7@P2" (Oid.to_string oid);
+  let key = Ref_key.make ~src:(Proc_id.of_int 1) ~target:oid in
+  check Alcotest.string "ref" "P1->#7@P2" (Ref_key.to_string key);
+  let alg = Algebra.add_exn Algebra.empty Algebra.Source key ~ic:3 in
+  check Alcotest.string "algebra" "{{P1->#7@P2:3} -> {}}" (Algebra.to_string alg);
+  let id = Detection_id.make ~initiator:(Proc_id.of_int 1) ~seq:9 in
+  let cdm = Cdm.make ~id ~algebra:alg ~frontier:key ~hops:2 ~budget:8 in
+  let s = Format.asprintf "%a" Cdm.pp cdm in
+  check Alcotest.bool "cdm pp mentions id" true
+    (Astring_contains.contains s "D9@P1");
+  ignore (Format.asprintf "%a" Btmsg.pp (Btmsg.Query { trace = { Btmsg.initiator = Proc_id.of_int 0; seq = 1 }; subject = key; visited = [] }) : string);
+  ignore (Format.asprintf "%a" Hmsg.pp (Hmsg.Threshold { value = 5 }) : string)
+
+let test_report_span () =
+  let oid p s = Oid.make ~owner:(Proc_id.of_int p) ~serial:s in
+  let key src target = Ref_key.make ~src:(Proc_id.of_int src) ~target in
+  let report =
+    {
+      Adgc_dcda.Report.id = Detection_id.make ~initiator:(Proc_id.of_int 0) ~seq:0;
+      concluded_at = Proc_id.of_int 0;
+      concluded_time = 0;
+      proven = [ key 0 (oid 1 0); key 1 (oid 2 0); key 2 (oid 0 0) ];
+      hops = 3;
+      deleted_here = [];
+    }
+  in
+  check Alcotest.int "span 3" 3 (Adgc_dcda.Report.span report)
+
+let test_inspect_summary_line () =
+  let cluster = Cluster.create ~n:2 () in
+  let _r = Topology.rooted_ring cluster ~procs:[ 0; 1 ] in
+  let line = Inspect.summary_line cluster in
+  check Alcotest.bool "mentions objects" true (Astring_contains.contains line "objects=2");
+  check Alcotest.bool "mentions garbage" true (Astring_contains.contains line "garbage=0")
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "accessor mismatch raises" `Quick test_accessor_mismatch_raises;
+      Alcotest.test_case "start is idempotent" `Quick test_start_is_idempotent;
+      Alcotest.test_case "stop then restart" `Quick test_stop_then_restart;
+      Alcotest.test_case "scan_all counts" `Quick test_scan_all_counts;
+      Alcotest.test_case "reports sorted by time" `Quick test_reports_sorted_by_time;
+      Alcotest.test_case "live_oids ground truth" `Quick test_live_oids_matches_ground_truth;
+      Alcotest.test_case "pretty-printer coverage" `Quick test_pp_coverage;
+      Alcotest.test_case "report span" `Quick test_report_span;
+      Alcotest.test_case "inspect summary line" `Quick test_inspect_summary_line;
+    ] )

@@ -1,0 +1,347 @@
+(* Unit tests for adgc_util: RNG, priority queue, trace, stats, tables. *)
+
+module Rng = Adgc_util.Rng
+module Heap_queue = Adgc_util.Heap_queue
+module Trace = Adgc_util.Trace
+module Stats = Adgc_util.Stats
+module Table = Adgc_util.Table
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let t = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int t 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_int_in_bounds () =
+  let t = Rng.create 8 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in t (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_int_covers_range () =
+  let t = Rng.create 9 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    seen.(Rng.int t 10) <- true
+  done;
+  Array.iteri (fun i b -> check Alcotest.bool (Printf.sprintf "value %d seen" i) true b) seen
+
+let test_rng_float_bounds () =
+  let t = Rng.create 10 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float t 3.5 in
+    if v < 0.0 || v >= 3.5 then Alcotest.failf "out of bounds: %f" v
+  done
+
+let test_rng_bernoulli_extremes () =
+  let t = Rng.create 11 in
+  for _ = 1 to 100 do
+    check Alcotest.bool "p=0 never" false (Rng.bernoulli t 0.0);
+    check Alcotest.bool "p=1 always" true (Rng.bernoulli t 1.0)
+  done
+
+let test_rng_bernoulli_rate () =
+  let t = Rng.create 12 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli t 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check Alcotest.bool "rate near 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 42 in
+  let child = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 parent) (Rng.bits64 child) then incr same
+  done;
+  check Alcotest.bool "split streams differ" true (!same < 4)
+
+let test_rng_copy () =
+  let a = Rng.create 5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_shuffle_permutation () =
+  let t = Rng.create 13 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_pick_list () =
+  let t = Rng.create 14 in
+  check Alcotest.int "singleton" 7 (Rng.pick_list t [ 7 ]);
+  (match Rng.pick_list t [ 1; 2; 3 ] with
+  | 1 | 2 | 3 -> ()
+  | v -> Alcotest.failf "bad pick %d" v);
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.pick_list: empty list") (fun () ->
+      ignore (Rng.pick_list t []))
+
+(* ------------------------------------------------------------------ *)
+(* Heap_queue *)
+
+let test_pq_ordering () =
+  let q = Heap_queue.create ~compare:Int.compare in
+  List.iter (fun k -> Heap_queue.push q k k) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap_queue.pop q with
+    | Some (k, _) ->
+        out := k :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (List.rev !out)
+
+let test_pq_fifo_ties () =
+  let q = Heap_queue.create ~compare:Int.compare in
+  Heap_queue.push q 1 "a";
+  Heap_queue.push q 1 "b";
+  Heap_queue.push q 1 "c";
+  let pop () = match Heap_queue.pop q with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  check (Alcotest.list Alcotest.string) "fifo among equal keys" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_pq_peek () =
+  let q = Heap_queue.create ~compare:Int.compare in
+  check Alcotest.bool "empty peek" true (Heap_queue.peek q = None);
+  Heap_queue.push q 4 "x";
+  Heap_queue.push q 2 "y";
+  (match Heap_queue.peek q with
+  | Some (2, "y") -> ()
+  | Some _ | None -> Alcotest.fail "wrong peek");
+  check Alcotest.int "peek does not remove" 2 (Heap_queue.length q)
+
+let test_pq_interleaved () =
+  let q = Heap_queue.create ~compare:Int.compare in
+  Heap_queue.push q 10 10;
+  Heap_queue.push q 1 1;
+  (match Heap_queue.pop q with Some (1, _) -> () | _ -> Alcotest.fail "expected 1");
+  Heap_queue.push q 5 5;
+  Heap_queue.push q 0 0;
+  (match Heap_queue.pop q with Some (0, _) -> () | _ -> Alcotest.fail "expected 0");
+  (match Heap_queue.pop q with Some (5, _) -> () | _ -> Alcotest.fail "expected 5");
+  (match Heap_queue.pop q with Some (10, _) -> () | _ -> Alcotest.fail "expected 10");
+  check Alcotest.bool "empty" true (Heap_queue.is_empty q)
+
+let test_pq_grows () =
+  let q = Heap_queue.create ~compare:Int.compare in
+  for i = 999 downto 0 do
+    Heap_queue.push q i i
+  done;
+  check Alcotest.int "length" 1000 (Heap_queue.length q);
+  for i = 0 to 999 do
+    match Heap_queue.pop q with
+    | Some (k, _) -> check Alcotest.int "ascending" i k
+    | None -> Alcotest.fail "ran out"
+  done
+
+let test_pq_to_list () =
+  let q = Heap_queue.create ~compare:Int.compare in
+  List.iter (fun k -> Heap_queue.push q k (string_of_int k)) [ 3; 1; 2 ];
+  let l = Heap_queue.to_list q in
+  check (Alcotest.list Alcotest.int) "ordered snapshot" [ 1; 2; 3 ] (List.map fst l);
+  check Alcotest.int "non destructive" 3 (Heap_queue.length q)
+
+let test_pq_random_against_sort () =
+  let rng = Rng.create 77 in
+  let q = Heap_queue.create ~compare:Int.compare in
+  let keys = List.init 500 (fun _ -> Rng.int rng 1000) in
+  List.iter (fun k -> Heap_queue.push q k ()) keys;
+  let expected = List.sort compare keys in
+  let rec drain acc =
+    match Heap_queue.pop q with Some (k, ()) -> drain (k :: acc) | None -> List.rev acc
+  in
+  check (Alcotest.list Alcotest.int) "matches sort" expected (drain [])
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_order () =
+  let t = Trace.create () in
+  Trace.add t ~time:1 ~topic:"a" "one";
+  Trace.add t ~time:2 ~topic:"b" "two";
+  Trace.add t ~time:3 ~topic:"a" "three";
+  check (Alcotest.list Alcotest.string) "order" [ "one"; "two"; "three" ]
+    (List.map (fun (e : Trace.event) -> e.Trace.text) (Trace.events t))
+
+let test_trace_by_topic () =
+  let t = Trace.create () in
+  Trace.add t ~time:1 ~topic:"a" "one";
+  Trace.add t ~time:2 ~topic:"b" "two";
+  Trace.add t ~time:3 ~topic:"a" "three";
+  check Alcotest.int "topic filter" 2 (List.length (Trace.by_topic t "a"))
+
+let test_trace_bounded () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.add t ~time:i ~topic:"t" (string_of_int i)
+  done;
+  let texts = List.map (fun (e : Trace.event) -> e.Trace.text) (Trace.events t) in
+  check (Alcotest.list Alcotest.string) "keeps newest" [ "7"; "8"; "9"; "10" ] texts;
+  check Alcotest.int "dropped count" 6 (Trace.dropped t)
+
+let test_trace_disable () =
+  let t = Trace.create () in
+  Trace.set_enabled t false;
+  Trace.add t ~time:1 ~topic:"x" "hidden";
+  Trace.addf t ~time:2 ~topic:"x" "also %s" "hidden";
+  check Alcotest.int "nothing recorded" 0 (List.length (Trace.events t))
+
+let test_trace_clear () =
+  let t = Trace.create () in
+  Trace.add t ~time:1 ~topic:"x" "a";
+  Trace.clear t;
+  check Alcotest.int "cleared" 0 (List.length (Trace.events t))
+
+let test_trace_addf () =
+  let t = Trace.create () in
+  Trace.addf t ~time:5 ~topic:"fmt" "%d-%s" 12 "ab";
+  match Trace.events t with
+  | [ e ] ->
+      check Alcotest.string "formatted" "12-ab" e.Trace.text;
+      check Alcotest.int "time" 5 e.Trace.time
+  | _ -> Alcotest.fail "expected one event"
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  check Alcotest.int "zero default" 0 (Stats.get s "x");
+  Stats.incr s "x";
+  Stats.incr s "x";
+  Stats.add s "x" 5;
+  check Alcotest.int "accumulated" 7 (Stats.get s "x")
+
+let test_stats_counters_sorted () =
+  let s = Stats.create () in
+  Stats.incr s "zebra";
+  Stats.incr s "alpha";
+  check (Alcotest.list Alcotest.string) "sorted names" [ "alpha"; "zebra" ]
+    (List.map fst (Stats.counters s))
+
+let test_stats_series () =
+  let s = Stats.create () in
+  List.iter (Stats.record s "lat") [ 1.0; 2.0; 3.0; 4.0 ];
+  check Alcotest.int "count" 4 (Stats.count s "lat");
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean s "lat");
+  check (Alcotest.float 1e-9) "total" 10.0 (Stats.total s "lat");
+  (match Stats.min_max s "lat" with
+  | Some (lo, hi) ->
+      check (Alcotest.float 1e-9) "min" 1.0 lo;
+      check (Alcotest.float 1e-9) "max" 4.0 hi
+  | None -> Alcotest.fail "expected min/max")
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.record s "p" (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile s "p" 50.0);
+  check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile s "p" 100.0);
+  check (Alcotest.float 1e-9) "p1" 1.0 (Stats.percentile s "p" 1.0)
+
+let test_stats_empty_series () =
+  let s = Stats.create () in
+  check Alcotest.bool "mean nan" true (Float.is_nan (Stats.mean s "none"));
+  check Alcotest.bool "no min/max" true (Stats.min_max s "none" = None)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.incr a "c";
+  Stats.add b "c" 2;
+  Stats.record a "s" 1.0;
+  Stats.record b "s" 3.0;
+  Stats.merge_into ~src:a ~dst:b;
+  check Alcotest.int "merged counter" 3 (Stats.get b "c");
+  check Alcotest.int "merged series" 2 (Stats.count b "s")
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let s =
+    Table.render ~header:[ "name"; "value" ] ~rows:[ [ "a"; "1" ]; [ "bc"; "23" ] ] ()
+  in
+  check Alcotest.bool "contains header" true
+    (String.length s > 0 && String.index_opt s 'n' <> None);
+  (* All lines share the same width. *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  (match widths with
+  | w :: rest -> List.iter (fun w' -> check Alcotest.int "aligned" w w') rest
+  | [] -> Alcotest.fail "no output")
+
+let test_table_pads_rows () =
+  let s = Table.render ~header:[ "a"; "b"; "c" ] ~rows:[ [ "x" ]; [ "1"; "2"; "3"; "4" ] ] () in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  check Alcotest.int "lines" 6 (List.length lines)
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "rng: determinism" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng: seed sensitivity" `Quick test_rng_seed_sensitivity;
+      Alcotest.test_case "rng: int bounds" `Quick test_rng_int_bounds;
+      Alcotest.test_case "rng: int_in bounds" `Quick test_rng_int_in_bounds;
+      Alcotest.test_case "rng: int covers range" `Quick test_rng_int_covers_range;
+      Alcotest.test_case "rng: float bounds" `Quick test_rng_float_bounds;
+      Alcotest.test_case "rng: bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+      Alcotest.test_case "rng: bernoulli rate" `Quick test_rng_bernoulli_rate;
+      Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+      Alcotest.test_case "rng: copy" `Quick test_rng_copy;
+      Alcotest.test_case "rng: shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+      Alcotest.test_case "rng: pick_list" `Quick test_rng_pick_list;
+      Alcotest.test_case "pq: ordering" `Quick test_pq_ordering;
+      Alcotest.test_case "pq: FIFO among ties" `Quick test_pq_fifo_ties;
+      Alcotest.test_case "pq: peek" `Quick test_pq_peek;
+      Alcotest.test_case "pq: interleaved ops" `Quick test_pq_interleaved;
+      Alcotest.test_case "pq: growth" `Quick test_pq_grows;
+      Alcotest.test_case "pq: to_list" `Quick test_pq_to_list;
+      Alcotest.test_case "pq: random vs sort" `Quick test_pq_random_against_sort;
+      Alcotest.test_case "trace: order" `Quick test_trace_order;
+      Alcotest.test_case "trace: by topic" `Quick test_trace_by_topic;
+      Alcotest.test_case "trace: bounded ring" `Quick test_trace_bounded;
+      Alcotest.test_case "trace: disabled" `Quick test_trace_disable;
+      Alcotest.test_case "trace: clear" `Quick test_trace_clear;
+      Alcotest.test_case "trace: addf" `Quick test_trace_addf;
+      Alcotest.test_case "stats: counters" `Quick test_stats_counters;
+      Alcotest.test_case "stats: sorted names" `Quick test_stats_counters_sorted;
+      Alcotest.test_case "stats: series" `Quick test_stats_series;
+      Alcotest.test_case "stats: percentile" `Quick test_stats_percentile;
+      Alcotest.test_case "stats: empty series" `Quick test_stats_empty_series;
+      Alcotest.test_case "stats: merge" `Quick test_stats_merge;
+      Alcotest.test_case "table: render alignment" `Quick test_table_render;
+      Alcotest.test_case "table: row padding" `Quick test_table_pads_rows;
+    ] )
