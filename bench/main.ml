@@ -815,6 +815,164 @@ let bench_micro () =
   print_endline "work across scions where the naive one re-traces"
 
 (* ------------------------------------------------------------------ *)
+(* Tracer: dense-id heap tracing, condensed-snapshot fast path and DGC
+   message batching (BENCH_1.json).
+
+   Set ADGC_BENCH_SMOKE=1 for a quick CI-sized run (small heaps, few
+   repetitions); the JSON is still produced so the plumbing is
+   exercised. *)
+
+module Reflist = Adgc_rt.Reflist
+
+let smoke () = Sys.getenv_opt "ADGC_BENCH_SMOKE" <> None
+
+let time_reps ~reps f =
+  f ();
+  (* warm: faults the tracer state in, grows scratch arrays *)
+  median (List.init reps (fun _ -> snd (wall_ms f)))
+
+let build_tracer_heap ~objects =
+  let cluster = Cluster.create ~n:2 () in
+  let rng = Adgc_util.Rng.create 29 in
+  let _built =
+    Topology.random cluster ~rng ~objects ~edges:(2 * objects) ~remote_prob:0.05
+      ~root_prob:0.02
+  in
+  Cluster.proc cluster 0
+
+let tracer_case ~objects ~reps =
+  let p = build_tracer_heap ~objects in
+  let heap = p.Adgc_rt.Process.heap in
+  let roots = Heap.roots heap in
+  let sets_ms =
+    time_reps ~reps (fun () -> ignore (Heap.trace_sets heap ~from:roots : Heap.trace_result))
+  in
+  let dense_ms =
+    time_reps ~reps (fun () -> ignore (Heap.trace heap ~from:roots : Heap.trace_result))
+  in
+  let snap_sets_ms =
+    time_reps ~reps (fun () ->
+        ignore (Summarize.run ~algo:Summarize.Condensed_sets ~now:0 p : Adgc_snapshot.Summary.t))
+  in
+  let snap_dense_ms =
+    time_reps ~reps (fun () ->
+        ignore (Summarize.run ~algo:Summarize.Condensed ~now:0 p : Adgc_snapshot.Summary.t))
+  in
+  (sets_ms, dense_ms, snap_sets_ms, snap_dense_ms)
+
+(* One advertisement round on a fully-wired clique: every process holds
+   a reference into every other, so each (src, dst) pair carries one
+   stub set plus one scion probe per round — exactly the traffic the
+   batcher coalesces. *)
+let batching_round ~batching =
+  let n = 16 in
+  let net_config = Network.default_config () in
+  net_config.Network.account_bytes <- true;
+  net_config.Network.latency_min <- 1;
+  net_config.Network.latency_max <- 1;
+  let config = Runtime.default_config () in
+  config.Runtime.dgc_batching <- batching;
+  config.Runtime.dgc_batch_window <- 5;
+  let cluster = Cluster.create ~config ~net_config ~n () in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if p <> q then begin
+        let holder = Mutator.alloc cluster ~proc:p () in
+        Mutator.add_root cluster holder;
+        let target = Mutator.alloc cluster ~proc:q () in
+        Mutator.add_root cluster target;
+        Mutator.wire_remote cluster ~holder ~target
+      end
+    done
+  done;
+  Cluster.run_for cluster 100;
+  let rt = Cluster.rt cluster in
+  let stats = Cluster.stats cluster in
+  let sent0 = Stats.get stats "net.msg.sent" in
+  let bytes0 = Stats.get stats "net.bytes" in
+  Array.iter
+    (fun p ->
+      Reflist.send_new_sets rt p;
+      Reflist.probe_idle_scions rt p ~threshold:1)
+    rt.Runtime.procs;
+  ignore (Cluster.drain cluster : int);
+  ( Stats.get stats "net.msg.sent" - sent0,
+    Stats.get stats "net.bytes" - bytes0,
+    Stats.get stats "net.msg.batched",
+    Stats.get stats "net.msg.batch_flushes" )
+
+let bench_tracer () =
+  section "tracer: dense-id tracing, snapshot fast path, DGC batching";
+  let sizes = if smoke () then [ 2_000 ] else [ 10_000; 100_000 ] in
+  let cases =
+    List.map
+      (fun objects ->
+        let reps = if smoke () then 3 else if objects >= 100_000 then 5 else 9 in
+        let sets_ms, dense_ms, snap_sets_ms, snap_dense_ms = tracer_case ~objects ~reps in
+        (objects, sets_ms, dense_ms, snap_sets_ms, snap_dense_ms))
+      sizes
+  in
+  let rows =
+    List.map
+      (fun (objects, sets_ms, dense_ms, snap_sets_ms, snap_dense_ms) ->
+        [
+          string_of_int objects;
+          Printf.sprintf "%.2f ms" sets_ms;
+          Printf.sprintf "%.2f ms" dense_ms;
+          Printf.sprintf "%.2fx" (sets_ms /. dense_ms);
+          Printf.sprintf "%.2f ms" snap_sets_ms;
+          Printf.sprintf "%.2f ms" snap_dense_ms;
+          Printf.sprintf "%.2fx" (snap_sets_ms /. snap_dense_ms);
+        ])
+      cases
+  in
+  Table.print
+    ~header:
+      [ "objects"; "trace (sets)"; "trace (dense)"; "speedup"; "snapshot (sets)";
+        "snapshot (dense)"; "speedup" ]
+    ~rows ();
+  let plain_msgs, plain_bytes, _, _ = batching_round ~batching:false in
+  let batched_msgs, batched_bytes, payloads, flushes = batching_round ~batching:true in
+  Printf.printf
+    "batching (16-proc clique, one stub-set + probe round):\n\
+    \  off: %d msgs, %d bytes    on: %d msgs, %d bytes (%d payloads in %d batches)\n\
+    \  message reduction: %.0f%%\n"
+    plain_msgs plain_bytes batched_msgs batched_bytes payloads flushes
+    (100.0 *. (1.0 -. (float_of_int batched_msgs /. float_of_int plain_msgs)));
+  (* Machine-readable artifact. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"tracer\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" (smoke ()));
+  Buffer.add_string buf "  \"sizes\": [\n";
+  List.iteri
+    (fun i (objects, sets_ms, dense_ms, snap_sets_ms, snap_dense_ms) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"objects\": %d,\n\
+           \     \"trace\": {\"sets_ms\": %.3f, \"dense_ms\": %.3f, \"sets_ops_per_sec\": \
+            %.1f, \"dense_ops_per_sec\": %.1f, \"speedup\": %.2f},\n\
+           \     \"snapshot\": {\"sets_ms\": %.3f, \"dense_ms\": %.3f, \"speedup\": %.2f}}%s\n"
+           objects sets_ms dense_ms (1000.0 /. sets_ms) (1000.0 /. dense_ms)
+           (sets_ms /. dense_ms) snap_sets_ms snap_dense_ms (snap_sets_ms /. snap_dense_ms)
+           (if i = List.length cases - 1 then "" else ",")))
+    cases;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"batching\": {\"procs\": 16,\n\
+       \    \"off\": {\"msgs\": %d, \"bytes\": %d},\n\
+       \    \"on\": {\"msgs\": %d, \"bytes\": %d, \"payloads_batched\": %d, \
+        \"batch_flushes\": %d},\n\
+       \    \"msg_reduction_pct\": %.1f}\n"
+       plain_msgs plain_bytes batched_msgs batched_bytes payloads flushes
+       (100.0 *. (1.0 -. (float_of_int batched_msgs /. float_of_int plain_msgs))));
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_1.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "wrote BENCH_1.json"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -831,6 +989,7 @@ let sections =
     ("leases", bench_leases);
     ("pstore", bench_pstore);
     ("dense", bench_dense);
+    ("tracer", bench_tracer);
     ("micro", bench_micro);
   ]
 

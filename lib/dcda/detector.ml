@@ -69,7 +69,7 @@ let conclude t ~(id : Detection_id.t) ~algebra ~(arrival : Ref_key.t) ~hops =
       in
       Proc_id.Map.iter
         (fun owner scions ->
-          Runtime.send t.rt ~src:(proc_id t) ~dst:owner (Msg.Cdm_delete { id; scions }))
+          Runtime.send_dgc t.rt ~src:(proc_id t) ~dst:owner (Msg.Cdm_delete { id; scions }))
         by_owner
   | Policy.Arrival_only | Policy.All_local -> ());
   Stats.incr t.rt.Runtime.stats "dcda.cycles_found";
@@ -178,7 +178,7 @@ let proceed_from t ~id ~delivered ~(si : Summary.scion_info) ~hops ~budget =
           else begin
             let child_budget = share + (if slot < extra then 1 else 0) in
             Stats.incr t.rt.Runtime.stats "dcda.cdm_sent";
-            Runtime.send t.rt ~src:(proc_id t)
+            Runtime.send_dgc t.rt ~src:(proc_id t)
               ~dst:(Ref_key.owner stub_key)
               (Msg.Cdm
                  (Cdm.make ~id ~algebra:alg ~frontier:stub_key ~hops:(hops + 1)

@@ -5,11 +5,16 @@ module Trace = Adgc_util.Trace
 
 type t = { rt : Runtime.t; mutable gc_handles : Scheduler.recurring list }
 
-let dispatch rt (msg : Msg.t) =
+let rec dispatch rt (msg : Msg.t) =
   let at = Runtime.proc rt msg.Msg.dst in
   if not at.Process.alive then Stats.incr rt.Runtime.stats "net.msg.dead_endpoint"
   else
   match msg.Msg.payload with
+  | Msg.Batch payloads ->
+      (* Unpack in queueing order; each constituent dispatches as if it
+         had arrived alone (same envelope timestamps). *)
+      Stats.add rt.Runtime.stats "net.msg.unbatched" (List.length payloads);
+      List.iter (fun payload -> dispatch rt { msg with Msg.payload }) payloads
   | Msg.Rmi_request { req_id; target; args; stub_ic } ->
       Rmi.handle_request rt ~at ~src:msg.Msg.src ~req_id ~target ~args ~stub_ic
   | Msg.Rmi_reply { req_id; target; results } -> Rmi.handle_reply rt ~at ~req_id ~target ~results

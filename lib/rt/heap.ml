@@ -1,6 +1,25 @@
 open Adgc_algebra
+module Mark = Adgc_util.Dense.Mark
+module Interner = Adgc_util.Dense.Interner (Oid)
 
 type obj = { oid : Oid.t; mutable fields : Oid.t option array; mutable payload : int }
+
+(* Persistent dense-trace state.  The interner assigns each local
+   object a dense id; [slots] maps ids back to the live object (or
+   [None] once swept).  The whole record survives across traces so
+   consecutive snapshots pay no allocation: the visited set is an
+   epoch-marked bitset and the BFS queue a reused int array.  It is
+   resynchronized lazily when the heap's generation counter says the
+   object population changed. *)
+type tracer = {
+  mutable ids : Interner.t; (* local oid -> dense id *)
+  mutable slots : obj option array; (* dense id -> live object *)
+  mark : Mark.t; (* visited set over dense ids *)
+  mutable queue : int array; (* BFS scratch, reused *)
+  remote_ids : Interner.t; (* remote oid -> dense id (dedup only) *)
+  remote_mark : Mark.t;
+  mutable synced_gen : int; (* heap generation at last sync; -1 = never *)
+}
 
 type t = {
   owner : Proc_id.t;
@@ -9,6 +28,8 @@ type t = {
   mutable next_serial : int;
   dirty : unit Oid.Tbl.t;
   mutable roots_dirty : bool;
+  mutable generation : int; (* bumped whenever the object population changes *)
+  tracer : tracer;
 }
 
 let create ~owner =
@@ -19,6 +40,17 @@ let create ~owner =
     next_serial = 0;
     dirty = Oid.Tbl.create 16;
     roots_dirty = false;
+    generation = 0;
+    tracer =
+      {
+        ids = Interner.create ();
+        slots = Array.make 64 None;
+        mark = Mark.create ();
+        queue = Array.make 64 0;
+        remote_ids = Interner.create ();
+        remote_mark = Mark.create ();
+        synced_gen = -1;
+      };
   }
 
 let mark_dirty t oid = Oid.Tbl.replace t.dirty oid ()
@@ -36,11 +68,14 @@ let owner t = t.owner
 
 let size t = Oid.Tbl.length t.objs
 
+let generation t = t.generation
+
 let alloc ?(fields = 2) ?(payload = 16) t =
   let oid = Oid.make ~owner:t.owner ~serial:t.next_serial in
   t.next_serial <- t.next_serial + 1;
   let obj = { oid; fields = Array.make fields None; payload } in
   Oid.Tbl.add t.objs oid obj;
+  t.generation <- t.generation + 1;
   obj
 
 let get t oid = Oid.Tbl.find_opt t.objs oid
@@ -87,7 +122,11 @@ let remove_ref t obj oid =
   in
   go 0
 
-let remove t oid = Oid.Tbl.remove t.objs oid
+let remove t oid =
+  if Oid.Tbl.mem t.objs oid then begin
+    Oid.Tbl.remove t.objs oid;
+    t.generation <- t.generation + 1
+  end
 
 let add_root t oid =
   if not (Proc_id.equal (Oid.owner oid) t.owner) then
@@ -107,9 +146,112 @@ let iter t f = Oid.Tbl.iter (fun _ obj -> f obj) t.objs
 
 let fold t ~init ~f = Oid.Tbl.fold (fun _ obj acc -> f acc obj) t.objs init
 
+(* ------------------------------------------------------------------ *)
+(* Dense tracing *)
+
+(* Bring the tracer in line with the current object population.  Noop
+   (one int comparison) while the generation is unchanged, so back-to-
+   back snapshots of a quiet heap reuse everything.  After mutation it
+   re-interns the population and refreshes the id -> object slots; the
+   interner is rebuilt from scratch only when sweeps have left it
+   mostly dead weight (ids are append-only, so without compaction a
+   churning heap would grow its arrays forever). *)
+let sync_tracer t =
+  let tr = t.tracer in
+  if tr.synced_gen <> t.generation then begin
+    let live = Oid.Tbl.length t.objs in
+    if Interner.size tr.ids > (2 * live) + 64 then tr.ids <- Interner.create ~capacity:(2 * live) ();
+    Oid.Tbl.iter (fun oid _ -> ignore (Interner.intern tr.ids oid : int)) t.objs;
+    let n = Interner.size tr.ids in
+    if Array.length tr.slots < n then begin
+      let cap = ref (Int.max 64 (Array.length tr.slots)) in
+      while n > !cap do
+        cap := 2 * !cap
+      done;
+      tr.slots <- Array.make !cap None
+    end;
+    for i = 0 to n - 1 do
+      tr.slots.(i) <- Oid.Tbl.find_opt t.objs (Interner.key tr.ids i)
+    done;
+    if Array.length tr.queue < n then tr.queue <- Array.make (Array.length tr.slots) 0;
+    tr.synced_gen <- t.generation
+  end;
+  tr
+
+let dense_sync t =
+  let tr = sync_tracer t in
+  Interner.size tr.ids
+
+let dense_id t oid =
+  let tr = sync_tracer t in
+  match Interner.find tr.ids oid with
+  | Some id when tr.slots.(id) <> None -> Some id
+  | Some _ | None -> None
+
+let dense_oid t id =
+  let tr = sync_tracer t in
+  Interner.key tr.ids id
+
+let dense_obj t id =
+  let tr = sync_tracer t in
+  if id < 0 || id >= Interner.size tr.ids then None else tr.slots.(id)
+
+let iter_dense t f =
+  let tr = sync_tracer t in
+  for id = 0 to Interner.size tr.ids - 1 do
+    match tr.slots.(id) with None -> () | Some obj -> f id obj
+  done
+
 type trace_result = { local : Oid.Set.t; remote : Oid.Set.t }
 
+let trace_dense t ~from ~visit_local ~visit_remote =
+  let tr = sync_tracer t in
+  Mark.clear tr.mark;
+  Mark.clear tr.remote_mark;
+  let tail = ref 0 in
+  let visit oid =
+    if Proc_id.equal (Oid.owner oid) t.owner then begin
+      match Interner.find tr.ids oid with
+      | Some id when tr.slots.(id) <> None ->
+          if Mark.mark tr.mark id then begin
+            tr.queue.(!tail) <- id;
+            incr tail
+          end
+      | Some _ | None -> () (* dangling or never-allocated local oid *)
+    end
+    else begin
+      let rid = Interner.intern tr.remote_ids oid in
+      if Mark.mark tr.remote_mark rid then visit_remote oid
+    end
+  in
+  List.iter visit from;
+  let head = ref 0 in
+  while !head < !tail do
+    let id = tr.queue.(!head) in
+    incr head;
+    match tr.slots.(id) with
+    | None -> ()
+    | Some obj -> Array.iter (function None -> () | Some target -> visit target) obj.fields
+  done;
+  for i = 0 to !tail - 1 do
+    visit_local tr.queue.(i)
+  done
+
 let trace t ~from =
+  let tr = t.tracer in
+  let local = ref Oid.Set.empty in
+  let remote = ref Oid.Set.empty in
+  trace_dense t ~from
+    ~visit_local:(fun id -> local := Oid.Set.add (Interner.key tr.ids id) !local)
+    ~visit_remote:(fun oid -> remote := Oid.Set.add oid !remote);
+  { local = !local; remote = !remote }
+
+let trace_all_remote t ~from = (trace t ~from).remote
+
+(* Reference implementation of [trace] over functional sets, the
+   pre-dense code path.  Kept for the tracer benchmark (old vs new)
+   and the equivalence property test; not used by the runtime. *)
+let trace_sets t ~from =
   let local = ref Oid.Set.empty in
   let remote = ref Oid.Set.empty in
   let queue = Queue.create () in
@@ -131,5 +273,3 @@ let trace t ~from =
         Array.iter (function None -> () | Some target -> visit target) obj.fields
   done;
   { local = !local; remote = !remote }
-
-let trace_all_remote t ~from = (trace t ~from).remote

@@ -10,7 +10,15 @@
     collector and the graph summarizer: a breadth-first walk from a
     set of starting objects that stays inside this process and
     reports, separately, the local objects visited and the remote
-    references encountered. *)
+    references encountered.
+
+    Tracing runs on a persistent dense index ({!Adgc_util.Dense}):
+    every local object is interned once into a dense integer id, the
+    visited set is an epoch-marked bitset cleared in O(1), and the BFS
+    queue is a reused int array.  The index survives across traces —
+    consecutive snapshots of a quiet heap allocate nothing — and is
+    resynchronized lazily when the {!generation} counter shows the
+    object population changed. *)
 
 open Adgc_algebra
 
@@ -28,6 +36,12 @@ val owner : t -> Proc_id.t
 
 val size : t -> int
 (** Number of objects currently allocated. *)
+
+val generation : t -> int
+(** Bumped whenever the object population changes (allocation or
+    removal).  The dense tracer — and anything else caching per-object
+    state — checks it to decide whether a resync is due.  Reference
+    mutations do not bump it; they go through the dirty log. *)
 
 (** {1 Allocation and mutation} *)
 
@@ -98,9 +112,53 @@ type trace_result = {
 
 val trace : t -> from:Oid.t list -> trace_result
 (** Breadth-first reachability within this heap.  Starting points that
-    are remote or absent contribute nothing.  References to local oids
-    that are absent from the heap (dangling, e.g. mid-sweep) are
-    ignored. *)
+    are remote contribute (only) to the remote set; absent local
+    starting points contribute nothing.  References to local oids that
+    are absent from the heap (dangling, e.g. mid-sweep) are ignored. *)
 
 val trace_all_remote : t -> from:Oid.t list -> Oid.Set.t
 (** [ (trace t ~from).remote ] — convenience. *)
+
+val trace_sets : t -> from:Oid.t list -> trace_result
+(** Reference implementation of {!trace} over functional [Oid.Set]s
+    (the pre-dense code path).  Semantically identical — the property
+    tests assert it — and kept only so the tracer benchmark can
+    measure the old path against the new one. *)
+
+(** {1 Dense view}
+
+    Low-level access to the persistent dense index for hot loops that
+    want to replace [Oid.Tbl] lookups with array indexing (the
+    condensed summarizer).  All accessors resynchronize lazily, so
+    they are always coherent with the heap; dense ids are stable while
+    the heap is unmutated, which is the lifetime such loops need. *)
+
+val dense_sync : t -> int
+(** Force a resync and return the dense capacity [n]: every live
+    object has an id in [0, n) (some ids in that range may be dead —
+    recently swept — slots). *)
+
+val dense_id : t -> Oid.t -> int option
+(** Dense id of a {e live} local object; [None] for remote, swept or
+    unknown oids. *)
+
+val dense_oid : t -> int -> Oid.t
+(** Oid owning a dense id.
+    @raise Invalid_argument when the id was never assigned. *)
+
+val dense_obj : t -> int -> obj option
+(** Live object behind a dense id; [None] for dead slots. *)
+
+val iter_dense : t -> (int -> obj -> unit) -> unit
+(** Every live object with its dense id, in id order. *)
+
+val trace_dense :
+  t ->
+  from:Oid.t list ->
+  visit_local:(int -> unit) ->
+  visit_remote:(Oid.t -> unit) ->
+  unit
+(** Callback form of {!trace}: reports each reached local object (by
+    dense id) and each distinct remote reference exactly once, without
+    building sets.  [visit_remote] fires during the walk,
+    [visit_local] once the walk is complete. *)

@@ -12,6 +12,7 @@ type payload =
   | Cdm_delete of { id : Detection_id.t; scions : Ref_key.t list }
   | Bt of Btmsg.t
   | Hughes of Hmsg.t
+  | Batch of payload list
 
 type t = { src : Proc_id.t; dst : Proc_id.t; sent_at : int; payload : payload }
 
@@ -28,8 +29,9 @@ let kind = function
   | Cdm_delete _ -> "cdm_delete"
   | Bt _ -> "bt"
   | Hughes _ -> "hughes"
+  | Batch _ -> "batch"
 
-let payload_refs = function
+let rec payload_refs = function
   | Rmi_request { target; args; _ } -> target :: args
   | Rmi_reply { target; results; _ } -> target :: results
   | Export_notice { target; _ } | Export_ack { target; _ } -> [ target ]
@@ -38,13 +40,14 @@ let payload_refs = function
   | Cdm_delete _ -> []
   | Bt _ -> []
   | Hughes _ -> []
+  | Batch payloads -> List.concat_map payload_refs payloads
 
 let oid_sval (o : Oid.t) = Sval.List [ Sval.Int (Proc_id.to_int (Oid.owner o)); Sval.Int o.Oid.serial ]
 
 let ref_sval (k : Ref_key.t) =
   Sval.List [ Sval.Int (Proc_id.to_int k.Ref_key.src); oid_sval k.Ref_key.target ]
 
-let payload_sval = function
+let rec payload_sval = function
   | Rmi_request { req_id; target; args; stub_ic } ->
       Sval.Record
         ( "rmi_request",
@@ -83,6 +86,7 @@ let payload_sval = function
           ] )
   | Bt bt -> Btmsg.to_sval bt
   | Hughes h -> Hmsg.to_sval h
+  | Batch payloads -> Sval.Record ("batch", [ ("msgs", Sval.List (List.map payload_sval payloads)) ])
 
 let to_sval t =
   Sval.Record

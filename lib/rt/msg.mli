@@ -54,6 +54,11 @@ type payload =
           owners which of their scions were proven part of the cycle. *)
   | Bt of Btmsg.t  (** back-tracing baseline traffic *)
   | Hughes of Hmsg.t  (** timestamp-propagation baseline traffic *)
+  | Batch of payload list
+      (** Coalesced DGC control traffic: every payload queued for the
+          same destination within one flush window travels as a single
+          latency-charged envelope ({!Runtime.send_dgc}).  Delivery
+          unpacks in queueing order.  Never nested. *)
 
 type t = { src : Proc_id.t; dst : Proc_id.t; sent_at : int; payload : payload }
 

@@ -44,6 +44,10 @@ let block_link t a b = Hashtbl.replace t.blocked (link_key a b) ()
 
 let unblock_link t a b = Hashtbl.remove t.blocked (link_key a b)
 
+(* One encode per accounted message: the byte count feeds both the
+   aggregate and the per-kind counter.  Callers invoke this only for
+   messages that actually travel — a message killed by a blocked link
+   or the drop probability is never encoded at all. *)
 let account t (msg : Msg.t) =
   if t.config.account_bytes then begin
     let bytes = String.length (Adgc_serial.Net_codec.encode (Msg.to_sval msg)) in
@@ -59,7 +63,6 @@ let send t (msg : Msg.t) =
   in
   Stats.incr t.stats "net.msg.sent";
   Stats.incr t.stats ("net.msg.sent." ^ Msg.kind msg.payload);
-  account t msg;
   let dropped =
     Hashtbl.mem t.blocked (link_key msg.src msg.dst)
     || Rng.bernoulli t.rng t.config.drop_prob
@@ -69,6 +72,7 @@ let send t (msg : Msg.t) =
     Stats.incr t.stats ("net.msg.dropped." ^ Msg.kind msg.payload)
   end
   else begin
+    account t msg;
     let id = t.next_id in
     t.next_id <- t.next_id + 1;
     Hashtbl.replace t.in_flight id msg;

@@ -87,7 +87,7 @@ let stub_groups (p : Process.t) =
 let send_set_to rt (p : Process.t) ~dst ~targets =
   let seqno = Process.next_out_seqno p ~dst in
   Stats.incr rt.Runtime.stats "reflist.sets_sent";
-  Runtime.send rt ~src:p.Process.id ~dst (Msg.New_set_stubs { seqno; targets })
+  Runtime.send_dgc rt ~src:p.Process.id ~dst (Msg.New_set_stubs { seqno; targets })
 
 let send_new_sets rt (p : Process.t) =
   let groups = stub_groups p in
@@ -105,7 +105,7 @@ let probe_idle_scions rt (p : Process.t) ~threshold =
   List.iter
     (fun holder ->
       Stats.incr rt.Runtime.stats "reflist.probes_sent";
-      Runtime.send rt ~src:p.Process.id ~dst:holder Msg.Scion_probe)
+      Runtime.send_dgc rt ~src:p.Process.id ~dst:holder Msg.Scion_probe)
     (Scion_table.idle_sources p.Process.scions ~now:(Runtime.now rt) ~threshold)
 
 let reap_dead_holders rt (p : Process.t) =

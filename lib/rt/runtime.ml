@@ -11,6 +11,8 @@ type config = {
   mutable scion_grace : int;
   mutable failure_detection : bool;
   mutable holder_silence_limit : int;
+  mutable dgc_batching : bool;
+  mutable dgc_batch_window : int;
 }
 
 let default_config () =
@@ -25,6 +27,8 @@ let default_config () =
     scion_grace = 10_000;
     failure_detection = false;
     holder_silence_limit = 30_000;
+    dgc_batching = false;
+    dgc_batch_window = 10;
   }
 
 type t = {
@@ -38,6 +42,7 @@ type t = {
   behaviors : (int, behavior) Hashtbl.t;
   pending_calls : (int, pending_call) Hashtbl.t;
   pending_notices : (int, pending_notice) Hashtbl.t;
+  pending_batches : (int * int, Msg.payload list ref) Hashtbl.t;
   mutable next_req_id : int;
   mutable next_notice_id : int;
   mutable on_reclaim : (Proc_id.t -> Oid.t -> unit) option;
@@ -67,6 +72,7 @@ let create ~sched ~net ~procs ~rng ~stats ~trace ~config =
     behaviors = Hashtbl.create 32;
     pending_calls = Hashtbl.create 32;
     pending_notices = Hashtbl.create 32;
+    pending_batches = Hashtbl.create 16;
     next_req_id = 0;
     next_notice_id = 0;
     on_reclaim = None;
@@ -98,3 +104,44 @@ let send t ~src ~dst payload =
   if (proc t src).Process.alive && (proc t dst).Process.alive then
     Network.send t.net (Msg.make ~src ~dst ~sent_at:(now t) payload)
   else Adgc_util.Stats.incr t.stats "net.msg.dead_endpoint"
+
+(* ------------------------------------------------------------------ *)
+(* DGC traffic coalescing.  Control messages (stub sets, probes, CDMs,
+   proven-cycle deletions) tolerate a small extra delay, so instead of
+   hitting the wire one by one they sit in a per-(src, dst) queue for
+   [dgc_batch_window] ticks and leave as one [Msg.Batch] envelope —
+   one latency charge, one header, one network event.  Liveness is
+   unaffected: the window only postpones, never suppresses, and every
+   protocol above already tolerates arbitrary delay. *)
+
+let flush_batch t ~src ~dst =
+  let key = (Proc_id.to_int src, Proc_id.to_int dst) in
+  match Hashtbl.find_opt t.pending_batches key with
+  | None -> ()
+  | Some q ->
+      Hashtbl.remove t.pending_batches key;
+      (match List.rev !q with
+      | [] -> ()
+      | [ payload ] -> send t ~src ~dst payload
+      | payloads ->
+          Adgc_util.Stats.incr t.stats "net.msg.batch_flushes";
+          Adgc_util.Stats.add t.stats "net.msg.batched" (List.length payloads);
+          send t ~src ~dst (Msg.Batch payloads))
+
+let flush_all_batches t =
+  let keys = Hashtbl.fold (fun (s, d) _ acc -> (s, d) :: acc) t.pending_batches [] in
+  List.iter
+    (fun (s, d) -> flush_batch t ~src:(Proc_id.of_int s) ~dst:(Proc_id.of_int d))
+    keys
+
+let send_dgc t ~src ~dst payload =
+  if not t.config.dgc_batching then send t ~src ~dst payload
+  else begin
+    let key = (Proc_id.to_int src, Proc_id.to_int dst) in
+    match Hashtbl.find_opt t.pending_batches key with
+    | Some q -> q := payload :: !q
+    | None ->
+        Hashtbl.add t.pending_batches key (ref [ payload ]);
+        Scheduler.schedule_after t.sched ~delay:t.config.dgc_batch_window (fun () ->
+            flush_batch t ~src ~dst)
+  end

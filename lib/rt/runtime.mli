@@ -41,6 +41,17 @@ type config = {
           objects a live-but-unreachable holder still references; the
           tests demonstrate both directions of the trade-off. *)
   mutable holder_silence_limit : int;
+  mutable dgc_batching : bool;
+      (** coalesce DGC control traffic (stub sets, probes, CDMs,
+          proven-cycle deletions) per destination into {!Msg.Batch}
+          envelopes flushed every {!field:dgc_batch_window} ticks;
+          default off (every message hits the wire individually, the
+          seed behaviour) *)
+  mutable dgc_batch_window : int;
+      (** how long {!send_dgc} may hold a queued payload before its
+          batch is flushed.  Bounds the extra latency added to CDM
+          propagation and stub-set timeliness — keep it well under
+          [new_set_period] and the detector's scan period. *)
 }
 
 val default_config : unit -> config
@@ -57,6 +68,9 @@ type t = {
   pending_calls : (int, pending_call) Hashtbl.t;  (** caller-side in-flight RMIs *)
   pending_notices : (int, pending_notice) Hashtbl.t;
       (** third-party export handshakes awaiting acknowledgement *)
+  pending_batches : (int * int, Msg.payload list ref) Hashtbl.t;
+      (** DGC payloads (newest first) queued per (src, dst) awaiting
+          their batch flush *)
   mutable next_req_id : int;
   mutable next_notice_id : int;
   mutable on_reclaim : (Proc_id.t -> Oid.t -> unit) option;
@@ -105,3 +119,17 @@ val fresh_req_id : t -> int
 val fresh_notice_id : t -> int
 
 val send : t -> src:Proc_id.t -> dst:Proc_id.t -> Msg.payload -> unit
+
+val send_dgc : t -> src:Proc_id.t -> dst:Proc_id.t -> Msg.payload -> unit
+(** Like {!send}, for delay-tolerant DGC control traffic.  With
+    [config.dgc_batching] off this is exactly [send]; with it on, the
+    payload joins the (src, dst) queue and travels inside one
+    {!Msg.Batch} when the window closes ([net.msg.batched] /
+    [net.msg.batch_flushes] count the coalescing).  Crash-stop
+    filtering applies at flush time. *)
+
+val flush_batch : t -> src:Proc_id.t -> dst:Proc_id.t -> unit
+(** Flush one pending batch immediately (idempotent). *)
+
+val flush_all_batches : t -> unit
+(** Flush every pending batch immediately (tests and shutdown). *)

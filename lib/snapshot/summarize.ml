@@ -1,7 +1,7 @@
 open Adgc_algebra
 open Adgc_rt
 
-type algo = Naive | Condensed
+type algo = Naive | Condensed | Condensed_sets
 
 (* Shared post-processing: given [stubs_from] per scion target and the
    root-trace result, assemble the summary. *)
@@ -71,7 +71,208 @@ let run_naive ~now (p : Process.t) =
   assemble ~now p ~root_local ~root_remote ~stubs_from_of_target
 
 (* ------------------------------------------------------------------ *)
-(* Condensed variant: iterative Tarjan SCC + DAG dynamic program.      *)
+(* Condensed variant: iterative Tarjan SCC + DAG dynamic program over
+   the heap's dense index.  The local graph is laid out in CSR form
+   (one flat successor array + offsets), every per-node attribute is a
+   plain int array indexed by dense id, and the whole scratch is a
+   module-level pool reused across runs (the simulator is single-
+   threaded and the arrays are fully re-initialized for [0, n) each
+   run), so steady-state summarization allocates only at the Summary
+   boundary. *)
+
+type scratch = {
+  mutable index : int array; (* Tarjan discovery index, -1 = unvisited *)
+  mutable lowlink : int array;
+  mutable on_stack : Bytes.t;
+  mutable scc : int array; (* node -> scc id, -1 = unassigned *)
+  mutable off : int array; (* CSR: node -> start in succ_flat, length n+1 *)
+  mutable succ_flat : int array; (* CSR: concatenated local successor ids *)
+  mutable remote : Oid.t list array; (* node -> direct remote refs *)
+  mutable stack : int array; (* Tarjan SCC stack *)
+  mutable work_id : int array; (* explicit DFS stack: node... *)
+  mutable work_child : int array; (* ...and its next-child cursor *)
+  mutable scc_off : int array; (* scc -> start in member_flat *)
+  mutable member_flat : int array; (* members bucketed by scc id *)
+}
+
+let scratch =
+  {
+    index = [||];
+    lowlink = [||];
+    on_stack = Bytes.empty;
+    scc = [||];
+    off = [||];
+    succ_flat = [||];
+    remote = [||];
+    stack = [||];
+    work_id = [||];
+    work_child = [||];
+    scc_off = [||];
+    member_flat = [||];
+  }
+
+let ensure_int_array get set n =
+  if Array.length (get ()) < n then set (Array.make (Int.max 64 n) 0)
+
+let run_condensed ~now (p : Process.t) =
+  let heap = p.Process.heap in
+  let me = p.Process.id in
+  let n = Heap.dense_sync heap in
+  let s = scratch in
+  ensure_int_array (fun () -> s.index) (fun a -> s.index <- a) n;
+  ensure_int_array (fun () -> s.lowlink) (fun a -> s.lowlink <- a) n;
+  ensure_int_array (fun () -> s.scc) (fun a -> s.scc <- a) n;
+  ensure_int_array (fun () -> s.off) (fun a -> s.off <- a) (n + 1);
+  ensure_int_array (fun () -> s.stack) (fun a -> s.stack <- a) n;
+  ensure_int_array (fun () -> s.work_id) (fun a -> s.work_id <- a) (n + 1);
+  ensure_int_array (fun () -> s.work_child) (fun a -> s.work_child <- a) (n + 1);
+  ensure_int_array (fun () -> s.scc_off) (fun a -> s.scc_off <- a) (n + 2);
+  ensure_int_array (fun () -> s.member_flat) (fun a -> s.member_flat <- a) n;
+  if Bytes.length s.on_stack < n then s.on_stack <- Bytes.make (Int.max 64 n) '\000';
+  if Array.length s.remote < n then s.remote <- Array.make (Int.max 64 n) [];
+  Array.fill s.index 0 n (-1);
+  Array.fill s.scc 0 n (-1);
+  Bytes.fill s.on_stack 0 n '\000';
+  Array.fill s.remote 0 n [];
+  (* CSR layout in one pass: iter_dense walks ids in ascending order,
+     so successor runs land contiguously in [succ_flat]. *)
+  let edge = ref 0 in
+  let push_succ id =
+    if !edge >= Array.length s.succ_flat then begin
+      let bigger = Array.make (Int.max 256 (2 * Array.length s.succ_flat)) 0 in
+      Array.blit s.succ_flat 0 bigger 0 (Array.length s.succ_flat);
+      s.succ_flat <- bigger
+    end;
+    s.succ_flat.(!edge) <- id;
+    incr edge
+  in
+  let last = ref 0 in
+  Heap.iter_dense heap (fun id obj ->
+      (* Dead ids between [last] and [id] keep empty successor runs. *)
+      for i = !last to id do
+        s.off.(i) <- !edge
+      done;
+      last := id + 1;
+      Array.iter
+        (function
+          | None -> ()
+          | Some target ->
+              if Proc_id.equal (Oid.owner target) me then begin
+                match Heap.dense_id heap target with
+                | Some sid -> push_succ sid
+                | None -> () (* dangling local reference *)
+              end
+              else s.remote.(id) <- target :: s.remote.(id))
+        obj.Heap.fields);
+  for i = !last to n do
+    s.off.(i) <- !edge
+  done;
+  (* Iterative Tarjan: an explicit work stack of (node, next-child).
+     SCCs are numbered in emission order, i.e. reverse topological
+     order of the condensation (every successor SCC of [c] has a
+     number smaller than [c]). *)
+  let counter = ref 0 in
+  let scc_count = ref 0 in
+  let sp = ref 0 in
+  (* Tarjan stack pointer *)
+  let visit start =
+    if s.index.(start) = -1 then begin
+      let wp = ref 0 in
+      let push_work id child =
+        s.work_id.(!wp) <- id;
+        s.work_child.(!wp) <- child;
+        incr wp
+      in
+      let discover id =
+        s.index.(id) <- !counter;
+        s.lowlink.(id) <- !counter;
+        incr counter;
+        Bytes.unsafe_set s.on_stack id '\001';
+        s.stack.(!sp) <- id;
+        incr sp
+      in
+      discover start;
+      push_work start 0;
+      while !wp > 0 do
+        decr wp;
+        let id = s.work_id.(!wp) and child = s.work_child.(!wp) in
+        if s.off.(id) + child < s.off.(id + 1) then begin
+          push_work id (child + 1);
+          let succ = s.succ_flat.(s.off.(id) + child) in
+          if s.index.(succ) = -1 then begin
+            discover succ;
+            push_work succ 0
+          end
+          else if Bytes.unsafe_get s.on_stack succ = '\001' then
+            s.lowlink.(id) <- Int.min s.lowlink.(id) s.index.(succ)
+        end
+        else begin
+          (* All children done: propagate lowlink to the parent and
+             emit an SCC when this node is its root. *)
+          (if !wp > 0 then
+             let parent = s.work_id.(!wp - 1) in
+             s.lowlink.(parent) <- Int.min s.lowlink.(parent) s.lowlink.(id));
+          if s.lowlink.(id) = s.index.(id) then begin
+            let cid = !scc_count in
+            incr scc_count;
+            let continue = ref true in
+            while !continue do
+              decr sp;
+              let member = s.stack.(!sp) in
+              Bytes.unsafe_set s.on_stack member '\000';
+              s.scc.(member) <- cid;
+              if member = id then continue := false
+            done
+          end
+        end
+      done
+    end
+  in
+  Heap.iter_dense heap (fun id _ -> visit id);
+  let nscc = !scc_count in
+  (* Bucket members by SCC id (counting sort), then run the DP over
+     the condensation: reachable remote references per SCC.  Successor
+     SCCs always carry smaller ids, so ascending order works. *)
+  Array.fill s.scc_off 0 (nscc + 1) 0;
+  Heap.iter_dense heap (fun id _ -> s.scc_off.(s.scc.(id) + 1) <- s.scc_off.(s.scc.(id) + 1) + 1);
+  for c = 1 to nscc do
+    s.scc_off.(c) <- s.scc_off.(c) + s.scc_off.(c - 1)
+  done;
+  (* scc_off now holds start offsets; fill and restore in one pass by
+     shifting a cursor copy. *)
+  let cursor = Array.sub s.scc_off 0 (nscc + 1) in
+  Heap.iter_dense heap (fun id _ ->
+      let c = s.scc.(id) in
+      s.member_flat.(cursor.(c)) <- id;
+      cursor.(c) <- cursor.(c) + 1);
+  let reach = Array.make (Int.max nscc 1) Oid.Set.empty in
+  for c = 0 to nscc - 1 do
+    let acc = ref Oid.Set.empty in
+    for m = s.scc_off.(c) to s.scc_off.(c + 1) - 1 do
+      let id = s.member_flat.(m) in
+      List.iter (fun r -> acc := Oid.Set.add r !acc) s.remote.(id);
+      for e = s.off.(id) to s.off.(id + 1) - 1 do
+        let succ_scc = s.scc.(s.succ_flat.(e)) in
+        if succ_scc <> c then acc := Oid.Set.union !acc reach.(succ_scc)
+      done
+    done;
+    reach.(c) <- !acc
+  done;
+  let { Heap.local = root_local; remote = root_remote } =
+    Heap.trace heap ~from:(Heap.roots heap)
+  in
+  let stubs_from_of_target target =
+    match Heap.dense_id heap target with
+    | Some id -> reach.(s.scc.(id))
+    | None -> Oid.Set.empty
+  in
+  assemble ~now p ~root_local ~root_remote ~stubs_from_of_target
+
+(* ------------------------------------------------------------------ *)
+(* Pre-dense condensed variant: same Tarjan + DP, but every per-node
+   attribute lives in a freshly allocated Oid.Tbl.  Kept behind
+   [Condensed_sets] as the reference the tracer benchmark and the
+   equivalence property measure the dense rewrite against. *)
 
 type tarjan_node = {
   mutable index : int; (* -1 = unvisited *)
@@ -82,7 +283,7 @@ type tarjan_node = {
   remote : Oid.t list; (* remote references held directly *)
 }
 
-let run_condensed ~now (p : Process.t) =
+let run_condensed_sets ~now (p : Process.t) =
   let heap = p.Process.heap in
   let nodes : tarjan_node Oid.Tbl.t = Oid.Tbl.create (Heap.size heap * 2) in
   Heap.iter heap (fun obj ->
@@ -105,10 +306,6 @@ let run_condensed ~now (p : Process.t) =
           fields = Array.of_list !local_fields;
           remote = !remote;
         });
-  (* Iterative Tarjan: an explicit work stack of (oid, next-child).
-     SCCs are numbered in emission order, i.e. reverse topological
-     order of the condensation (every successor SCC of [c] has a
-     number smaller than [c]). *)
   let counter = ref 0 in
   let scc_count = ref 0 in
   let stack : Oid.t Stack.t = Stack.create () in
@@ -153,8 +350,6 @@ let run_condensed ~now (p : Process.t) =
             node.lowlink <- Int.min node.lowlink succ_node.index
         end
         else begin
-          (* All children done: propagate lowlink to the parent and
-             emit an SCC when this node is its root. *)
           (if not (Stack.is_empty work) then
              let parent_oid, _ = Stack.top work in
              let parent = Oid.Tbl.find nodes parent_oid in
@@ -177,8 +372,6 @@ let run_condensed ~now (p : Process.t) =
     end
   in
   Heap.iter heap (fun obj -> visit obj.Heap.oid);
-  (* DP over the condensation: reachable remote references per SCC.
-     Successor SCCs always carry smaller ids, so ascending order works. *)
   let n = !scc_count in
   let reach = Array.make (Int.max n 1) Oid.Set.empty in
   for id = 0 to n - 1 do
@@ -197,7 +390,7 @@ let run_condensed ~now (p : Process.t) =
     reach.(id) <- direct
   done;
   let { Heap.local = root_local; remote = root_remote } =
-    Heap.trace heap ~from:(Heap.roots heap)
+    Heap.trace_sets heap ~from:(Heap.roots heap)
   in
   let stubs_from_of_target target =
     match Oid.Tbl.find_opt nodes target with
@@ -207,7 +400,10 @@ let run_condensed ~now (p : Process.t) =
   assemble ~now p ~root_local ~root_remote ~stubs_from_of_target
 
 let run ?(algo = Condensed) ~now p =
-  match algo with Naive -> run_naive ~now p | Condensed -> run_condensed ~now p
+  match algo with
+  | Naive -> run_naive ~now p
+  | Condensed -> run_condensed ~now p
+  | Condensed_sets -> run_condensed_sets ~now p
 
 module Incremental = struct
   type region = { r_local : Oid.Set.t; r_remote : Oid.Set.t }
@@ -255,9 +451,12 @@ module Incremental = struct
         Oid.Set.empty
         (Scion_table.entries p.Process.scions)
     in
-    Oid.Tbl.iter
-      (fun target _ -> if not (Oid.Set.mem target wanted) then Oid.Tbl.remove t.regions target)
-      (Oid.Tbl.copy t.regions);
+    let vanished =
+      Oid.Tbl.fold
+        (fun target _ acc -> if Oid.Set.mem target wanted then acc else target :: acc)
+        t.regions []
+    in
+    List.iter (Oid.Tbl.remove t.regions) vanished;
     Oid.Set.iter
       (fun target ->
         match Oid.Tbl.find_opt t.regions target with

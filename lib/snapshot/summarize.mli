@@ -9,17 +9,24 @@
       condensation of the local graph followed by a dynamic program
       over the resulting DAG, sharing work between scions that reach
       the same region (the paper's "breadth-first, to minimize
-      re-tracing" concern, taken further).
+      re-tracing" concern, taken further).  Runs on the heap's
+      persistent dense index: CSR adjacency, int-array Tarjan state
+      and a reused module-level scratch pool, so steady-state
+      summarization allocates only at the {!Summary} boundary.
+    - [Condensed_sets] — the pre-dense implementation of [Condensed]
+      (per-node [Oid.Tbl] state, functional sets).  Kept as the
+      reference path: the equivalence property pins the dense rewrite
+      to it and the [tracer] benchmark measures the speedup.
 
-    Both produce identical summaries (a qcheck property) and the E10
-    benchmark compares their cost profiles.
+    All variants produce identical summaries (a property test) and the
+    E10 / tracer benchmarks compare their cost profiles.
 
     The summarizer reads the process {e synchronously} inside one
     simulator event, which models the paper's serialize-then-summarize
     pipeline: the snapshot reflects one instant of the process, while
     the rest of the system keeps running. *)
 
-type algo = Naive | Condensed
+type algo = Naive | Condensed | Condensed_sets
 
 val run : ?algo:algo -> now:int -> Adgc_rt.Process.t -> Summary.t
 (** Default algorithm: [Condensed]. *)

@@ -1,0 +1,75 @@
+module Mark = struct
+  type t = { mutable epoch : int; mutable epochs : int array }
+
+  (* A slot is marked iff it holds the current epoch; epoch 0 is never
+     current, so fresh (and freshly grown) slots are unmarked. *)
+  let create ?(capacity = 64) () = { epoch = 1; epochs = Array.make (Int.max 1 capacity) 0 }
+
+  let clear t = t.epoch <- t.epoch + 1
+
+  let grow t i =
+    let cap = ref (Array.length t.epochs) in
+    while i >= !cap do
+      cap := 2 * !cap
+    done;
+    let bigger = Array.make !cap 0 in
+    Array.blit t.epochs 0 bigger 0 (Array.length t.epochs);
+    t.epochs <- bigger
+
+  let mark t i =
+    if i < 0 then invalid_arg "Dense.Mark.mark: negative id";
+    if i >= Array.length t.epochs then grow t i;
+    if t.epochs.(i) = t.epoch then false
+    else begin
+      t.epochs.(i) <- t.epoch;
+      true
+    end
+
+  let is_marked t i = i >= 0 && i < Array.length t.epochs && t.epochs.(i) = t.epoch
+
+  let capacity t = Array.length t.epochs
+end
+
+module Interner (H : Hashtbl.HashedType) = struct
+  module Tbl = Hashtbl.Make (H)
+
+  type t = {
+    ids : int Tbl.t;
+    mutable keys : H.t array; (* keys.(i) is the key of id i, for i < n *)
+    mutable n : int;
+  }
+
+  let create ?(capacity = 64) () = { ids = Tbl.create (Int.max 1 capacity); keys = [||]; n = 0 }
+
+  let size t = t.n
+
+  let intern t k =
+    match Tbl.find_opt t.ids k with
+    | Some id -> id
+    | None ->
+        let id = t.n in
+        let cap = Array.length t.keys in
+        if id >= cap then begin
+          (* Seed the fresh slots with [k]: H.t has no default value. *)
+          let bigger = Array.make (Int.max 8 (2 * cap)) k in
+          Array.blit t.keys 0 bigger 0 cap;
+          t.keys <- bigger
+        end;
+        t.keys.(id) <- k;
+        t.n <- id + 1;
+        Tbl.add t.ids k id;
+        id
+
+  let find t k = Tbl.find_opt t.ids k
+
+  let mem t k = Tbl.mem t.ids k
+
+  let key t i =
+    if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Dense.Interner.key: id %d unassigned" i);
+    t.keys.(i)
+
+  let iter t f =
+    for i = 0 to t.n - 1 do
+      f i t.keys.(i)
+    done
+end

@@ -1,0 +1,70 @@
+(** Dense-integer indexing primitives for hot graph traversals.
+
+    The runtime's tracing and summarization loops spend their time
+    asking "have I seen this object?" and "what do I know about this
+    object?".  Answering through [Oid.Set] / [Oid.Tbl] costs a
+    comparison chain or a hash per query and allocates on every
+    insertion.  This module provides the classic alternative: intern
+    each key once into a dense integer id, then answer every
+    subsequent query with an array access.
+
+    - {!Interner} is an append-only key <-> dense-int bijection.  Ids
+      are assigned in interning order, stay stable for the interner's
+      lifetime, and index plain arrays directly.
+    - {!Mark} is a visited-set over dense ids whose [clear] is O(1):
+      each slot stores the epoch at which it was last marked, and
+      clearing just bumps the current epoch.  Reusing one [Mark]
+      across millions of traversals costs no allocation and no
+      per-object reset.
+
+    Both structures grow transparently and are deliberately free of
+    any dependency on the object algebra, so they can serve any keyed
+    workload (OIDs, ref-keys, process ids, ...). *)
+
+(** Epoch-marked bitset over dense integer ids. *)
+module Mark : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] is only a size hint (default 64); the set grows on
+      demand. *)
+
+  val clear : t -> unit
+  (** Forget every mark in O(1) (epoch bump — no memory is touched). *)
+
+  val mark : t -> int -> bool
+  (** Mark an id; [true] iff it was not yet marked this epoch.  Grows
+      the backing store when the id is beyond current capacity.
+      @raise Invalid_argument on a negative id. *)
+
+  val is_marked : t -> int -> bool
+  (** O(1); ids beyond capacity are unmarked. *)
+
+  val capacity : t -> int
+end
+
+(** Append-only interner assigning dense ids in [0, size) to keys. *)
+module Interner (H : Hashtbl.HashedType) : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val size : t -> int
+  (** Number of interned keys; also the next id to be assigned. *)
+
+  val intern : t -> H.t -> int
+  (** Id of the key, interning it first when new.  Ids are assigned
+      consecutively from 0 and never change or get recycled. *)
+
+  val find : t -> H.t -> int option
+  (** Id of an already-interned key. *)
+
+  val mem : t -> H.t -> bool
+
+  val key : t -> int -> H.t
+  (** Inverse of {!intern}.
+      @raise Invalid_argument when the id was never assigned. *)
+
+  val iter : t -> (int -> H.t -> unit) -> unit
+  (** All (id, key) pairs in id order. *)
+end

@@ -547,6 +547,117 @@ let test_replicate_under_loss () =
   settle cluster;
   check Alcotest.int "replica after heal" 1 !got
 
+(* ------------------------------------------------------------------ *)
+(* DGC message batching *)
+
+module Stats = Adgc_util.Stats
+
+let enable_batching cluster ~window =
+  let rt = Cluster.rt cluster in
+  rt.Runtime.config.Runtime.dgc_batching <- true;
+  rt.Runtime.config.Runtime.dgc_batch_window <- window;
+  rt
+
+let empty_set seqno = Msg.New_set_stubs { seqno; targets = Oid.Map.empty }
+
+let test_batching_coalesces () =
+  let cluster = mk ~n:2 () in
+  let rt = enable_batching cluster ~window:5 in
+  let stats = Cluster.stats cluster in
+  let src = Proc_id.of_int 0 and dst = Proc_id.of_int 1 in
+  Runtime.send_dgc rt ~src ~dst (empty_set 1);
+  Runtime.send_dgc rt ~src ~dst (empty_set 2);
+  check Alcotest.int "nothing on the wire before the flush" 0 (Stats.get stats "net.msg.sent");
+  settle cluster;
+  check Alcotest.int "one envelope" 1 (Stats.get stats "net.msg.sent");
+  check Alcotest.int "two payloads coalesced" 2 (Stats.get stats "net.msg.batched");
+  check Alcotest.int "one flush" 1 (Stats.get stats "net.msg.batch_flushes");
+  check Alcotest.int "unpacked at delivery" 2 (Stats.get stats "net.msg.unbatched")
+
+let test_batching_single_payload_travels_plain () =
+  let cluster = mk ~n:2 () in
+  let rt = enable_batching cluster ~window:5 in
+  let stats = Cluster.stats cluster in
+  Runtime.send_dgc rt ~src:(Proc_id.of_int 0) ~dst:(Proc_id.of_int 1) (empty_set 1);
+  settle cluster;
+  check Alcotest.int "one message" 1 (Stats.get stats "net.msg.sent");
+  check Alcotest.int "no batch envelope" 0 (Stats.get stats "net.msg.sent.batch");
+  check Alcotest.int "nothing counted as batched" 0 (Stats.get stats "net.msg.batched")
+
+let test_batching_off_is_immediate () =
+  let cluster = mk ~n:2 () in
+  let rt = Cluster.rt cluster in
+  let stats = Cluster.stats cluster in
+  Runtime.send_dgc rt ~src:(Proc_id.of_int 0) ~dst:(Proc_id.of_int 1) (empty_set 1);
+  (* Default config: send_dgc is exactly send — on the wire already. *)
+  check Alcotest.int "sent without waiting for a flush" 1 (Stats.get stats "net.msg.sent")
+
+let test_batching_chain_reclaimed () =
+  (* The acyclic end-to-end scenario still converges when every stub
+     set rides inside a batch. *)
+  let cluster = mk () in
+  ignore (enable_batching cluster ~window:5 : Runtime.t);
+  let a = Mutator.alloc cluster ~proc:0 () in
+  let b = Mutator.alloc cluster ~proc:1 () in
+  let c = Mutator.alloc cluster ~proc:2 () in
+  Mutator.wire_remote cluster ~holder:a ~target:b;
+  Mutator.wire_remote cluster ~holder:b ~target:c;
+  Mutator.add_root cluster a;
+  gc_rounds cluster 2;
+  check Alcotest.int "all alive" 3 (Cluster.total_objects cluster);
+  Mutator.remove_root cluster a;
+  gc_rounds cluster 4;
+  check Alcotest.int "all reclaimed" 0 (Cluster.total_objects cluster)
+
+let clique_round ~batching =
+  (* Every process holds a reference into every other; one stub-set +
+     probe round therefore carries two DGC payloads per (src, dst)
+     pair — the traffic the batcher folds in half. *)
+  let n = 6 in
+  let cluster = mk ~n ~seed:7 () in
+  if batching then ignore (enable_batching cluster ~window:5 : Runtime.t);
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if p <> q then begin
+        let holder = Mutator.alloc cluster ~proc:p () in
+        Mutator.add_root cluster holder;
+        let target = Mutator.alloc cluster ~proc:q () in
+        Mutator.add_root cluster target;
+        Mutator.wire_remote cluster ~holder ~target
+      end
+    done
+  done;
+  Cluster.run_for cluster 100;
+  let stats = Cluster.stats cluster in
+  let before = Stats.get stats "net.msg.sent" in
+  let rt = Cluster.rt cluster in
+  Array.iter
+    (fun p ->
+      Reflist.send_new_sets rt p;
+      Reflist.probe_idle_scions rt p ~threshold:1)
+    rt.Runtime.procs;
+  settle cluster;
+  Stats.get stats "net.msg.sent" - before
+
+let test_batching_cuts_clique_traffic () =
+  let plain = clique_round ~batching:false in
+  let batched = clique_round ~batching:true in
+  check Alcotest.bool
+    (Printf.sprintf "fewer envelopes (%d batched vs %d plain)" batched plain)
+    true (batched < plain)
+
+let test_batching_detection_converges () =
+  (* A distributed cycle is still found and reclaimed when CDMs and
+     stub sets travel batched. *)
+  let config = Adgc.Config.quick ~n_procs:3 () in
+  config.Adgc.Config.runtime.Runtime.dgc_batching <- true;
+  config.Adgc.Config.runtime.Runtime.dgc_batch_window <- 5;
+  let sim = Adgc.Sim.create ~config () in
+  let _built = Adgc_workload.Topology.ring (Adgc.Sim.cluster sim) ~procs:[ 0; 1; 2 ] in
+  Adgc.Sim.start sim;
+  check Alcotest.bool "cycle reclaimed with batching on" true
+    (Adgc.Sim.run_until_clean ~step:1_000 ~max_time:300_000 sim)
+
 let suite =
   ( "rt-gc",
     [
@@ -585,4 +696,14 @@ let suite =
       Alcotest.test_case "replicate: copies references" `Quick test_replicate_copies_references;
       Alcotest.test_case "replicate: keeps targets alive" `Quick test_replica_keeps_targets_alive;
       Alcotest.test_case "replicate: under loss" `Quick test_replicate_under_loss;
+      Alcotest.test_case "batching: coalesces a window" `Quick test_batching_coalesces;
+      Alcotest.test_case "batching: single payload travels plain" `Quick
+        test_batching_single_payload_travels_plain;
+      Alcotest.test_case "batching: off = immediate send" `Quick test_batching_off_is_immediate;
+      Alcotest.test_case "batching: acyclic chain still reclaimed" `Quick
+        test_batching_chain_reclaimed;
+      Alcotest.test_case "batching: clique round sends fewer msgs" `Quick
+        test_batching_cuts_clique_traffic;
+      Alcotest.test_case "batching: cycle detection converges" `Quick
+        test_batching_detection_converges;
     ] )

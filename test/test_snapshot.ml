@@ -152,6 +152,45 @@ let test_naive_equals_condensed_random () =
     done
   done
 
+let test_all_summarizers_agree_under_churn () =
+  (* Property: Naive, the dense Condensed, the set-based reference
+     Condensed_sets and the Incremental summarizer all produce equal
+     summaries on randomized graphs subjected to churn (allocation,
+     linking, unlinking, RMIs) — the parity that lets Condensed stay
+     the default. *)
+  List.iter
+    (fun seed ->
+      let rng = Adgc_util.Rng.create seed in
+      let cluster = Cluster.create ~n:3 () in
+      let _built =
+        Adgc_workload.Topology.random cluster ~rng ~objects:40 ~edges:80 ~remote_prob:0.3
+          ~root_prob:0.2
+      in
+      let states = Array.init 3 (fun _ -> Summarize.Incremental.create ()) in
+      let churn =
+        Adgc_workload.Churn.create ~cluster ~rng:(Adgc_util.Rng.create (seed * 13 + 1)) ()
+      in
+      for round = 1 to 5 do
+        for _ = 1 to 15 do
+          Adgc_workload.Churn.step churn
+        done;
+        ignore (Cluster.drain cluster : int);
+        for proc = 0 to 2 do
+          let p = Cluster.proc cluster proc in
+          let naive = Summarize.run ~algo:Summarize.Naive ~now:round p in
+          let dense = Summarize.run ~algo:Summarize.Condensed ~now:round p in
+          let sets = Summarize.run ~algo:Summarize.Condensed_sets ~now:round p in
+          let inc = Summarize.Incremental.run states.(proc) ~now:round p in
+          if not (Summary.equal naive dense) then
+            Alcotest.failf "seed %d round %d proc %d: naive <> condensed" seed round proc;
+          if not (Summary.equal naive sets) then
+            Alcotest.failf "seed %d round %d proc %d: naive <> condensed_sets" seed round proc;
+          if not (Summary.equal naive inc) then
+            Alcotest.failf "seed %d round %d proc %d: naive <> incremental" seed round proc
+        done
+      done)
+    [ 101; 202; 303 ]
+
 let test_summary_captures_ics () =
   let cluster = mk ~n:2 () in
   let caller = Mutator.alloc cluster ~proc:0 () in
@@ -339,6 +378,8 @@ let suite =
       Alcotest.test_case "diamond + local cycle" `Quick test_diamond_and_cycle_local_structure;
       Alcotest.test_case "naive = condensed on random graphs" `Quick
         test_naive_equals_condensed_random;
+      Alcotest.test_case "all summarizers agree under churn" `Quick
+        test_all_summarizers_agree_under_churn;
       Alcotest.test_case "summary captures ICs" `Quick test_summary_captures_ics;
       Alcotest.test_case "summary is immutable" `Quick test_summary_is_immutable_snapshot;
       Alcotest.test_case "summary sval roundtrip" `Quick test_summary_sval_roundtrip;

@@ -288,6 +288,87 @@ let test_stats_merge () =
   check Alcotest.int "merged series" 2 (Stats.count b "s")
 
 (* ------------------------------------------------------------------ *)
+(* Dense (epoch-marked bitset + interner) *)
+
+module Mark = Adgc_util.Dense.Mark
+
+module Str_interner = Adgc_util.Dense.Interner (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+let test_mark_basics () =
+  let m = Mark.create () in
+  check Alcotest.bool "fresh id unmarked" false (Mark.is_marked m 3);
+  check Alcotest.bool "first mark is new" true (Mark.mark m 3);
+  check Alcotest.bool "now marked" true (Mark.is_marked m 3);
+  check Alcotest.bool "second mark is not new" false (Mark.mark m 3);
+  check Alcotest.bool "neighbours untouched" false (Mark.is_marked m 2)
+
+let test_mark_epoch_clear () =
+  let m = Mark.create ~capacity:8 () in
+  for i = 0 to 7 do
+    ignore (Mark.mark m i : bool)
+  done;
+  Mark.clear m;
+  for i = 0 to 7 do
+    check Alcotest.bool "cleared" false (Mark.is_marked m i)
+  done;
+  (* Re-marking after a clear behaves like a fresh set. *)
+  check Alcotest.bool "mark again" true (Mark.mark m 5);
+  check Alcotest.bool "others still clear" false (Mark.is_marked m 4);
+  (* Many clears never wrap into stale marks. *)
+  for _ = 1 to 10_000 do
+    Mark.clear m
+  done;
+  check Alcotest.bool "no stale mark after many epochs" false (Mark.is_marked m 5)
+
+let test_mark_growth () =
+  let m = Mark.create ~capacity:2 () in
+  check Alcotest.bool "mark far beyond capacity" true (Mark.mark m 1_000);
+  check Alcotest.bool "marked after growth" true (Mark.is_marked m 1_000);
+  check Alcotest.bool "beyond capacity reads unmarked" false (Mark.is_marked m 1_000_000);
+  check Alcotest.bool "grown capacity" true (Mark.capacity m > 1_000)
+
+let test_mark_negative () =
+  let m = Mark.create () in
+  check Alcotest.bool "negative is_marked is false" false (Mark.is_marked m (-1));
+  Alcotest.check_raises "negative mark" (Invalid_argument "Dense.Mark.mark: negative id")
+    (fun () -> ignore (Mark.mark m (-1) : bool))
+
+let test_interner_bijection () =
+  let t = Str_interner.create () in
+  check Alcotest.int "empty" 0 (Str_interner.size t);
+  check Alcotest.int "a -> 0" 0 (Str_interner.intern t "a");
+  check Alcotest.int "b -> 1" 1 (Str_interner.intern t "b");
+  check Alcotest.int "a stable" 0 (Str_interner.intern t "a");
+  check Alcotest.int "size" 2 (Str_interner.size t);
+  check Alcotest.string "key 0" "a" (Str_interner.key t 0);
+  check Alcotest.string "key 1" "b" (Str_interner.key t 1);
+  check (Alcotest.option Alcotest.int) "find known" (Some 1) (Str_interner.find t "b");
+  check (Alcotest.option Alcotest.int) "find unknown" None (Str_interner.find t "zz");
+  check Alcotest.bool "mem" true (Str_interner.mem t "a");
+  check Alcotest.bool "not mem" false (Str_interner.mem t "zz")
+
+let test_interner_iter_order () =
+  let t = Str_interner.create ~capacity:1 () in
+  let names = List.init 100 string_of_int in
+  List.iter (fun s -> ignore (Str_interner.intern t s : int)) names;
+  let out = ref [] in
+  Str_interner.iter t (fun id key ->
+      check Alcotest.int "id matches position" (List.length !out) id;
+      out := key :: !out);
+  check (Alcotest.list Alcotest.string) "id order = intern order" names (List.rev !out)
+
+let test_interner_key_unassigned () =
+  let t = Str_interner.create () in
+  ignore (Str_interner.intern t "only" : int);
+  Alcotest.check_raises "unassigned id" (Invalid_argument "Dense.Interner.key: id 1 unassigned")
+    (fun () -> ignore (Str_interner.key t 1 : string))
+
+(* ------------------------------------------------------------------ *)
 (* Table *)
 
 let test_table_render () =
@@ -342,6 +423,13 @@ let suite =
       Alcotest.test_case "stats: percentile" `Quick test_stats_percentile;
       Alcotest.test_case "stats: empty series" `Quick test_stats_empty_series;
       Alcotest.test_case "stats: merge" `Quick test_stats_merge;
+      Alcotest.test_case "dense: mark basics" `Quick test_mark_basics;
+      Alcotest.test_case "dense: O(1) clear via epochs" `Quick test_mark_epoch_clear;
+      Alcotest.test_case "dense: mark growth" `Quick test_mark_growth;
+      Alcotest.test_case "dense: negative ids" `Quick test_mark_negative;
+      Alcotest.test_case "dense: interner bijection" `Quick test_interner_bijection;
+      Alcotest.test_case "dense: interner iter order" `Quick test_interner_iter_order;
+      Alcotest.test_case "dense: interner key bounds" `Quick test_interner_key_unassigned;
       Alcotest.test_case "table: render alignment" `Quick test_table_render;
       Alcotest.test_case "table: row padding" `Quick test_table_pads_rows;
     ] )
