@@ -10,6 +10,8 @@ module Sim = Adgc.Sim
 module Config = Adgc.Config
 module Cluster = Adgc_rt.Cluster
 module Network = Adgc_rt.Network
+module Faults = Adgc_rt.Faults
+module Oracle = Adgc_check.Oracle
 module Stats = Adgc_util.Stats
 module Trace = Adgc_util.Trace
 open Adgc_workload
@@ -64,6 +66,15 @@ let detector_conv =
   in
   Cmdliner.Arg.conv (parse, print)
 
+let faults_conv =
+  let parse s =
+    match Faults.profile_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown fault profile %S" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Faults.profile_name p) in
+  Cmdliner.Arg.conv (parse, print)
+
 let min_procs = function
   | Fig3 -> 4
   | Fig4 -> 6
@@ -104,14 +115,22 @@ let build_topology topology cluster ~seed ~objects ~edges =
         ~procs:(List.init (Cluster.n_procs cluster) (fun i -> i))
 
 let run_cmd topology procs seed loss detector time churn_steps objects edges trace_topics
-    crash_list inspect quiet =
+    crash_list faults_profile inspect quiet =
   let n_procs = Int.max procs (min_procs topology) in
   let config = Config.quick ~seed ~n_procs () in
   config.Config.net.Network.drop_prob <- loss;
-  let config = { config with Config.detector } in
+  (* Faults run over the middle of the run: armed at 1/5 of the time
+     budget, quiescent at 3/5, leaving the last 2/5 for recovery. *)
+  let faults =
+    match faults_profile with
+    | None -> Faults.none
+    | Some p -> Faults.plan_of_profile ~start:(time / 5) ~stop:(time * 3 / 5) ~n_procs p
+  in
+  let config = { config with Config.detector; faults } in
   let sim = Sim.create ~config () in
   let cluster = Sim.cluster sim in
   let checker = Metrics.install_safety_checker cluster in
+  let oracle = Oracle.install cluster in
   let _built = build_topology topology cluster ~seed ~objects ~edges in
   if churn_steps > 0 then begin
     let churn = Churn.create ~cluster ~rng:(Adgc_util.Rng.create (seed + 2)) () in
@@ -151,8 +170,9 @@ let run_cmd topology procs seed loss detector time churn_steps objects edges tra
         (fun (e : Trace.event) -> Format.printf "%a@." Trace.pp_event e)
         (Trace.by_topic (Sim.trace sim) topic))
     trace_topics;
-  match Metrics.violations checker with
-  | [] ->
+  Oracle.stop oracle;
+  match (Metrics.violations checker, Oracle.first_report oracle) with
+  | [], None ->
       if final.Metrics.garbage = 0 then begin
         if not quiet then print_endline "OK: no garbage left, no safety violations";
         0
@@ -162,8 +182,10 @@ let run_cmd topology procs seed loss detector time churn_steps objects edges tra
           final.Metrics.garbage;
         0
       end
-  | violations ->
-      Printf.eprintf "SAFETY VIOLATIONS: %d live objects reclaimed!\n" (List.length violations);
+  | violations, oracle_report ->
+      if violations <> [] then
+        Printf.eprintf "SAFETY VIOLATIONS: %d live objects reclaimed!\n" (List.length violations);
+      Option.iter (fun r -> Printf.eprintf "ORACLE:\n%s\n" r) oracle_report;
       1
 
 let trace_cmd topology seed =
@@ -223,10 +245,22 @@ let crash_arg =
 let inspect_arg =
   Arg.(value & flag & info [ "inspect" ] ~doc:"Dump the full cluster state at the end.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ]
+        ~doc:
+          "Fault-injection profile: loss-burst, duplicate, reorder, partition-heal or \
+           crash-restart. Active over the middle of the run; the oracle reports any safety \
+           violation."
+        ~docv:"PROFILE")
+
 let run_term =
   Term.(
     const run_cmd $ topology_arg $ procs_arg $ seed_arg $ loss_arg $ detector_arg $ time_arg
-    $ churn_arg $ objects_arg $ edges_arg $ trace_arg $ crash_arg $ inspect_arg $ quiet_arg)
+    $ churn_arg $ objects_arg $ edges_arg $ trace_arg $ crash_arg $ faults_arg $ inspect_arg
+    $ quiet_arg)
 
 let run_cmd_info = Cmd.info "run" ~doc:"Run a scenario end to end and report."
 

@@ -1,0 +1,63 @@
+open Adgc_algebra
+open Adgc_rt
+
+type violation =
+  | Live_reclaimed of { proc : Proc_id.t; oid : Oid.t }
+  | Dangling_ref of { proc : Proc_id.t; holder : Oid.t; target : Oid.t }
+  | Scion_dangles of { key : Ref_key.t }
+  | Ic_regression of { key : Ref_key.t; stub_ic : int; scion_ic : int }
+
+let pp ppf = function
+  | Live_reclaimed { proc; oid } ->
+      Format.fprintf ppf "globally-live %a reclaimed by %a's LGC" Oid.pp oid Proc_id.pp proc
+  | Dangling_ref { proc; holder; target } ->
+      Format.fprintf ppf "live %a at %a references freed %a" Oid.pp holder Proc_id.pp proc Oid.pp
+        target
+  | Scion_dangles { key } ->
+      Format.fprintf ppf "scion %a guards an object its owner freed" Ref_key.pp key
+  | Ic_regression { key; stub_ic; scion_ic } ->
+      Format.fprintf ppf "scion %a counter %d ahead of stub counter %d" Ref_key.pp key scion_ic
+        stub_ic
+
+let check cluster =
+  let rt = Cluster.rt cluster in
+  let live = Cluster.globally_live cluster in
+  let acc = ref [] in
+  let push v = acc := v :: !acc in
+  Array.iter
+    (fun (p : Process.t) ->
+      if p.Process.alive then begin
+        (* Live references never dangle into freed memory.  Only
+           globally-live holders are judged: a garbage object may
+           legitimately outlive what it points at (sweeps are not
+           atomic across processes), but nothing reachable may. *)
+        Heap.iter p.Process.heap (fun obj ->
+            if Oid.Set.mem obj.Heap.oid live then
+              Array.iter
+                (function
+                  | None -> ()
+                  | Some target ->
+                      let owner = Runtime.proc rt (Oid.owner target) in
+                      if owner.Process.alive && not (Heap.mem owner.Process.heap target) then
+                        push (Dangling_ref { proc = p.Process.id; holder = obj.Heap.oid; target }))
+                obj.Heap.fields);
+        (* Every scion guards an existing object, and its counter
+           never overtakes the stub counter it is a copy of. *)
+        List.iter
+          (fun (e : Scion_table.entry) ->
+            let key = e.Scion_table.key in
+            if not (Heap.mem p.Process.heap key.Ref_key.target) then push (Scion_dangles { key })
+            else begin
+              let holder = Runtime.proc rt key.Ref_key.src in
+              if holder.Process.alive then
+                match Stub_table.find holder.Process.stubs key.Ref_key.target with
+                | Some se when se.Stub_table.ic < e.Scion_table.ic ->
+                    push
+                      (Ic_regression
+                         { key; stub_ic = se.Stub_table.ic; scion_ic = e.Scion_table.ic })
+                | Some _ | None -> ()
+            end)
+          (Scion_table.entries p.Process.scions)
+      end)
+    rt.Runtime.procs;
+  List.rev !acc

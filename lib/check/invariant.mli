@@ -1,0 +1,40 @@
+(** Whole-system structural invariants, checked against ground truth.
+
+    Everything here is omniscient — it reads every heap and table
+    directly and compares against {!Adgc_rt.Cluster.globally_live},
+    which no protocol state can influence.  The invariants are the
+    safety claims of the paper made mechanical:
+
+    - a globally-live object never holds a reference into freed
+      memory (reclamation is never observable from live objects);
+    - every scion guards an object that still exists in its owner's
+      heap (the GC roots the protocol maintains are never dangling);
+    - invocation counters are conserved per stub/scion pair: the
+      scion-side counter — defined as the owner's knowledge of the
+      stub-side counter — never runs ahead of the stub it mirrors
+      (see {!Adgc_rt.Scion_table.sync_ic}; stub counters are monotone
+      per (process, target) even across entry recreation, which makes
+      the comparison sound at any instant).
+
+    The companion temporal invariant — no globally-live object is ever
+    swept — needs the pre-sweep hook and lives in {!Oracle}. *)
+
+open Adgc_algebra
+
+type violation =
+  | Live_reclaimed of { proc : Proc_id.t; oid : Oid.t }
+      (** an LGC was about to sweep (or swept) a globally-live object *)
+  | Dangling_ref of { proc : Proc_id.t; holder : Oid.t; target : Oid.t }
+      (** a globally-live object's field points at freed memory *)
+  | Scion_dangles of { key : Ref_key.t }
+      (** a scion protects an object its owner already freed *)
+  | Ic_regression of { key : Ref_key.t; stub_ic : int; scion_ic : int }
+      (** the scion counter overtook the stub counter it mirrors *)
+
+val pp : Format.formatter -> violation -> unit
+
+val check : Adgc_rt.Cluster.t -> violation list
+(** Run every instantaneous invariant over the whole cluster.  Dead
+    processes are wreckage and are skipped (their state is allowed to
+    dangle); references into a dead process are not judged either —
+    they become judgeable again if the owner restarts. *)

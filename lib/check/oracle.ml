@@ -1,0 +1,104 @@
+open Adgc_algebra
+open Adgc_rt
+module Trace = Adgc_util.Trace
+
+type event = { time : int; violation : Invariant.violation }
+
+type t = {
+  cluster : Cluster.t;
+  mutable events : event list;  (** newest first *)
+  mutable first_report : string option;
+  mutable handle : Scheduler.recurring option;
+}
+
+let trace_tail ppf trace =
+  let events = Trace.events trace in
+  let n = List.length events in
+  let skip = Int.max 0 (n - 40) in
+  List.iteri
+    (fun i e -> if i >= skip then Format.fprintf ppf "%a@," Trace.pp_event e)
+    events
+
+let report t violation =
+  Format.asprintf
+    "@[<v>oracle: first violation at t=%d: %a@,@,-- cluster --@,%a@,-- trace tail --@,%a@]"
+    (Cluster.now t.cluster) Invariant.pp violation
+    (fun ppf c -> Adgc_workload.Inspect.pp_cluster ppf c)
+    t.cluster
+    trace_tail (Cluster.trace t.cluster)
+
+let record t violation =
+  if t.first_report = None then t.first_report <- Some (report t violation);
+  t.events <- { time = Cluster.now t.cluster; violation } :: t.events
+
+let sweep_instantaneous t = List.iter (record t) (Invariant.check t.cluster)
+
+let install ?(window = 500) cluster =
+  let t = { cluster; events = []; first_report = None; handle = None } in
+  let rt = Cluster.rt cluster in
+  let previous = rt.Runtime.on_pre_sweep in
+  rt.Runtime.on_pre_sweep <-
+    Some
+      (fun proc doomed ->
+        (match previous with Some f -> f proc doomed | None -> ());
+        (* Every heap is still intact here, so ground truth is exact
+           for the objects about to go. *)
+        let live = Cluster.globally_live cluster in
+        List.iter
+          (fun oid ->
+            if Oid.Set.mem oid live then record t (Invariant.Live_reclaimed { proc; oid }))
+          doomed);
+  t.handle <- Some (Scheduler.every (Cluster.sched cluster) ~period:window (fun () -> sweep_instantaneous t));
+  t
+
+let stop t =
+  (match t.handle with
+  | Some h ->
+      Scheduler.cancel h;
+      t.handle <- None
+  | None -> ());
+  sweep_instantaneous t
+
+let events t = List.rev t.events
+
+let safe t = t.events = []
+
+let first_report t = t.first_report
+
+let assert_safe t =
+  match t.first_report with None -> () | Some r -> failwith r
+
+type liveness =
+  | Converged of { ticks : int; reclaimed : int }
+  | Stuck of { remaining : Oid.Set.t; after : int }
+
+let residual t baseline =
+  let rt = Cluster.rt t.cluster in
+  Oid.Set.filter
+    (fun oid ->
+      let p = Runtime.proc rt (Oid.owner oid) in
+      p.Process.alive && Heap.mem p.Process.heap oid)
+    baseline
+
+let check_liveness ?(step = 2_000) ?(max_ticks = 600_000) t ~run =
+  let baseline = Cluster.garbage t.cluster in
+  let total = Oid.Set.cardinal baseline in
+  let rec go spent =
+    let remaining = residual t baseline in
+    if Oid.Set.is_empty remaining then Converged { ticks = spent; reclaimed = total }
+    else if spent >= max_ticks then Stuck { remaining; after = spent }
+    else begin
+      run step;
+      go (spent + step)
+    end
+  in
+  go 0
+
+let pp_liveness ppf = function
+  | Converged { ticks; reclaimed } ->
+      Format.fprintf ppf "converged: %d garbage objects reclaimed within %d ticks" reclaimed ticks
+  | Stuck { remaining; after } ->
+      Format.fprintf ppf "stuck: %d garbage objects still allocated after %d ticks (%a)"
+        (Oid.Set.cardinal remaining) after
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") Oid.pp)
+        (Oid.Set.elements remaining)

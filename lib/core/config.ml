@@ -5,6 +5,7 @@ type t = {
   n_procs : int;
   runtime : Adgc_rt.Runtime.config;
   net : Adgc_rt.Network.config;
+  faults : Adgc_rt.Faults.plan;
   policy : Adgc_dcda.Policy.t;
   detector : detector_kind;
   codec : Adgc_serial.Codec.t;
@@ -20,6 +21,7 @@ let default ?(seed = 42) ?(n_procs = 4) () =
     n_procs;
     runtime = Adgc_rt.Runtime.default_config ();
     net = Adgc_rt.Network.default_config ();
+    faults = Adgc_rt.Faults.none;
     policy = Adgc_dcda.Policy.default;
     detector = Dcda;
     codec = (module Adgc_serial.Net_codec : Adgc_serial.Codec.S);

@@ -11,6 +11,9 @@ type t = {
   n_procs : int;
   runtime : Adgc_rt.Runtime.config;
   net : Adgc_rt.Network.config;
+  faults : Adgc_rt.Faults.plan;
+      (** fault-injection plan handed to the cluster/network (default:
+          {!Adgc_rt.Faults.none}) *)
   policy : Adgc_dcda.Policy.t;
   detector : detector_kind;
   codec : Adgc_serial.Codec.t;  (** snapshot serialization codec *)

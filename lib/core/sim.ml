@@ -22,7 +22,7 @@ let create ?config () =
   let config = match config with Some c -> c | None -> Config.default () in
   let cluster =
     Cluster.create ~seed:config.Config.seed ~config:config.Config.runtime
-      ~net_config:config.Config.net ~n:config.Config.n_procs ()
+      ~net_config:config.Config.net ~faults:config.Config.faults ~n:config.Config.n_procs ()
   in
   let rt = Cluster.rt cluster in
   let store =

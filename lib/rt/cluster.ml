@@ -5,16 +5,17 @@ module Trace = Adgc_util.Trace
 
 type t = { rt : Runtime.t; mutable gc_handles : Scheduler.recurring list }
 
-let rec dispatch rt (msg : Msg.t) =
-  let at = Runtime.proc rt msg.Msg.dst in
-  if not at.Process.alive then Stats.incr rt.Runtime.stats "net.msg.dead_endpoint"
-  else
-  match msg.Msg.payload with
+(* Payload handling is separate from envelope acceptance: the
+   duplicate check below runs once per envelope, so the constituents
+   of a [Batch] (which share their envelope's sequence number) are
+   not mistaken for replays of each other. *)
+let rec handle_payload rt (msg : Msg.t) (at : Process.t) payload =
+  match payload with
   | Msg.Batch payloads ->
-      (* Unpack in queueing order; each constituent dispatches as if it
-         had arrived alone (same envelope timestamps). *)
+      (* Unpack in queueing order; each constituent is handled as if
+         it had arrived alone (same envelope timestamps). *)
       Stats.add rt.Runtime.stats "net.msg.unbatched" (List.length payloads);
-      List.iter (fun payload -> dispatch rt { msg with Msg.payload }) payloads
+      List.iter (handle_payload rt msg at) payloads
   | Msg.Rmi_request { req_id; target; args; stub_ic } ->
       Rmi.handle_request rt ~at ~src:msg.Msg.src ~req_id ~target ~args ~stub_ic
   | Msg.Rmi_reply { req_id; target; results } -> Rmi.handle_reply rt ~at ~req_id ~target ~results
@@ -41,7 +42,40 @@ let rec dispatch rt (msg : Msg.t) =
       | Some f -> f ~src:msg.Msg.src h
       | None -> Stats.incr rt.Runtime.stats "hughes.unhandled")
 
-let create ?(seed = 42) ?config ?net_config ?trace_capacity ~n () =
+let dispatch rt (msg : Msg.t) =
+  let at = Runtime.proc rt msg.Msg.dst in
+  if not at.Process.alive then Stats.incr rt.Runtime.stats "net.msg.dead_endpoint"
+  else if not (Process.note_delivery at ~src:msg.Msg.src ~seq:msg.Msg.seq) then
+    (* A replayed envelope (network duplication, or an adversarial
+       re-send in the tests): every handler above runs at most once
+       per sequenced envelope, which is what makes delivery
+       idempotent. *)
+    Stats.incr rt.Runtime.stats "net.msg.duplicate_ignored"
+  else handle_payload rt msg at msg.Msg.payload
+
+let crash_proc rt i =
+  let p = Runtime.proc rt (Proc_id.of_int i) in
+  if p.Process.alive then begin
+    p.Process.alive <- false;
+    Stats.incr rt.Runtime.stats "cluster.crashes";
+    Runtime.log rt ~topic:"cluster" "%a crashed" Proc_id.pp p.Process.id
+  end
+
+let restart_proc rt i =
+  let p = Runtime.proc rt (Proc_id.of_int i) in
+  if not p.Process.alive then begin
+    p.Process.alive <- true;
+    (* Crash-recovery model: heap, stubs and scions survived in the
+       persistent store.  Reset the holder-silence clocks so the
+       downtime is not immediately read as every holder's crash by
+       failure detection; the periodic duties (guarded per firing on
+       [alive]) resume by themselves. *)
+    Scion_table.touch_all_sources p.Process.scions ~now:(Scheduler.now rt.Runtime.sched);
+    Stats.incr rt.Runtime.stats "cluster.restarts";
+    Runtime.log rt ~topic:"cluster" "%a restarted" Proc_id.pp p.Process.id
+  end
+
+let create ?(seed = 42) ?config ?net_config ?(faults = Faults.none) ?trace_capacity ~n () =
   if n <= 0 then invalid_arg "Cluster.create: need at least one process";
   let config = match config with Some c -> c | None -> Runtime.default_config () in
   let net_config = match net_config with Some c -> c | None -> Network.default_config () in
@@ -49,12 +83,19 @@ let create ?(seed = 42) ?config ?net_config ?trace_capacity ~n () =
   let sched = Scheduler.create () in
   let stats = Stats.create () in
   let trace = Trace.create ?capacity:trace_capacity () in
-  let net = Network.create ~sched ~rng:(Rng.split rng) ~stats ~config:net_config in
+  let net = Network.create ~faults ~sched ~rng:(Rng.split rng) ~stats ~config:net_config () in
   let procs =
     Array.init n (fun i -> Process.create ~id:(Proc_id.of_int i) ~rng:(Rng.split rng))
   in
   let rt = Runtime.create ~sched ~net ~procs ~rng ~stats ~trace ~config in
   Network.set_deliver net (dispatch rt);
+  List.iter
+    (function
+      | Faults.Crash { proc; at } -> Scheduler.schedule_at sched ~time:at (fun () -> crash_proc rt proc)
+      | Faults.Restart { proc; at } ->
+          Scheduler.schedule_at sched ~time:at (fun () -> restart_proc rt proc)
+      | Faults.Partition _ -> (* the network schedules these *) ())
+    faults.Faults.events;
   { rt; gc_handles = [] }
 
 let rt t = t.rt
@@ -115,13 +156,9 @@ let stop_gc t =
 
 let gc_running t = t.gc_handles <> []
 
-let crash t i =
-  let p = proc t i in
-  if p.Process.alive then begin
-    p.Process.alive <- false;
-    Stats.incr t.rt.Runtime.stats "cluster.crashes";
-    Runtime.log t.rt ~topic:"cluster" "%a crashed" Proc_id.pp p.Process.id
-  end
+let crash t i = crash_proc t.rt i
+
+let restart t i = restart_proc t.rt i
 
 let alive t i = (proc t i).Process.alive
 

@@ -13,11 +13,14 @@ val create :
   ?seed:int ->
   ?config:Runtime.config ->
   ?net_config:Network.config ->
+  ?faults:Faults.plan ->
   ?trace_capacity:int ->
   n:int ->
   unit ->
   t
-(** [n] processes with ids [P0 .. P(n-1)]. Default seed 42. *)
+(** [n] processes with ids [P0 .. P(n-1)]. Default seed 42.  The fault
+    plan's partition events are armed in the network and its crash /
+    restart events on the scheduler. *)
 
 val rt : t -> Runtime.t
 
@@ -62,6 +65,13 @@ val crash : t -> int -> unit
     duties; its heap becomes unreachable wreckage excluded from ground
     truth.  Scions it held at other owners are reclaimed only when
     [failure_detection] is configured (see {!Runtime.config}). *)
+
+val restart : t -> int -> unit
+(** Revive a crashed process with its state intact (crash-recovery
+    with a persistent store: heap, stubs, scions and sequence numbers
+    all survive).  Holder-silence clocks are refreshed so failure
+    detection does not instantly suspect every holder; installed
+    periodic duties resume on their own.  No-op on a live process. *)
 
 val alive : t -> int -> bool
 

@@ -14,9 +14,9 @@ type payload =
   | Hughes of Hmsg.t
   | Batch of payload list
 
-type t = { src : Proc_id.t; dst : Proc_id.t; sent_at : int; payload : payload }
+type t = { src : Proc_id.t; dst : Proc_id.t; seq : int; sent_at : int; payload : payload }
 
-let make ~src ~dst ~sent_at payload = { src; dst; sent_at; payload }
+let make ?(seq = -1) ~src ~dst ~sent_at payload = { src; dst; seq; sent_at; payload }
 
 let kind = function
   | Rmi_request _ -> "rmi_request"
@@ -94,6 +94,7 @@ let to_sval t =
       [
         ("src", Sval.Int (Proc_id.to_int t.src));
         ("dst", Sval.Int (Proc_id.to_int t.dst));
+        ("seq", Sval.Int t.seq);
         ("sent_at", Sval.Int t.sent_at);
         ("payload", payload_sval t.payload);
       ] )

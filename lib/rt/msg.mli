@@ -60,9 +60,21 @@ type payload =
           latency-charged envelope ({!Runtime.send_dgc}).  Delivery
           unpacks in queueing order.  Never nested. *)
 
-type t = { src : Proc_id.t; dst : Proc_id.t; sent_at : int; payload : payload }
+type t = {
+  src : Proc_id.t;
+  dst : Proc_id.t;
+  seq : int;
+      (** per-sender envelope sequence number; the receiver ignores a
+          (src, seq) pair it has already processed, which makes every
+          delivery idempotent under network duplication.  Negative
+          means unsequenced (never deduplicated) — hand-built test
+          messages that bypass {!Runtime.send} use that. *)
+  sent_at : int;
+  payload : payload;
+}
 
-val make : src:Proc_id.t -> dst:Proc_id.t -> sent_at:int -> payload -> t
+val make : ?seq:int -> src:Proc_id.t -> dst:Proc_id.t -> sent_at:int -> payload -> t
+(** [seq] defaults to [-1] (unsequenced). *)
 
 val kind : payload -> string
 (** Short tag for statistics counters ("rmi_request", "cdm", ...). *)

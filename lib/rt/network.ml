@@ -16,44 +16,137 @@ type t = {
   rng : Rng.t;
   stats : Stats.t;
   config : config;
+  faults : Faults.plan;
   mutable deliver : (Msg.t -> unit) option;
-  in_flight : (int, Msg.t) Hashtbl.t;
+  in_flight : (int, Msg.t) Hashtbl.t;  (** keyed by injection id *)
   mutable next_id : int;
-  blocked : (int * int, unit) Hashtbl.t;
+  cut : (int * int, unit) Hashtbl.t;  (** partitioned links (scheduled and manual) *)
+  burst : (int * int, bool ref) Hashtbl.t;  (** Gilbert–Elliott state per link; [true] = in a burst *)
 }
 
-let create ~sched ~rng ~stats ~config =
-  {
-    sched;
-    rng;
-    stats;
-    config;
-    deliver = None;
-    in_flight = Hashtbl.create 64;
-    next_id = 0;
-    blocked = Hashtbl.create 4;
-  }
+let link_key a b = (Proc_id.to_int a, Proc_id.to_int b)
+
+let block_link t a b = Hashtbl.replace t.cut (link_key a b) ()
+
+let unblock_link t a b = Hashtbl.remove t.cut (link_key a b)
+
+let create ?(faults = Faults.none) ~sched ~rng ~stats ~config () =
+  let t =
+    {
+      sched;
+      rng;
+      stats;
+      config;
+      faults;
+      deliver = None;
+      in_flight = Hashtbl.create 64;
+      next_id = 0;
+      cut = Hashtbl.create 4;
+      burst = Hashtbl.create 4;
+    }
+  in
+  List.iter
+    (function
+      | Faults.Partition { links; at; heal } ->
+          let pid = Proc_id.of_int in
+          Scheduler.schedule_at sched ~time:at (fun () ->
+              List.iter
+                (fun (a, b) ->
+                  block_link t (pid a) (pid b);
+                  block_link t (pid b) (pid a))
+                links;
+              Stats.incr stats "net.partitions");
+          Option.iter
+            (fun time ->
+              Scheduler.schedule_at sched ~time (fun () ->
+                  List.iter
+                    (fun (a, b) ->
+                      unblock_link t (pid a) (pid b);
+                      unblock_link t (pid b) (pid a))
+                    links;
+                  Stats.incr stats "net.heals"))
+            heal
+      | Faults.Crash _ | Faults.Restart _ -> (* the cluster schedules these *) ())
+    faults.Faults.events;
+  t
 
 let config t = t.config
 
 let set_deliver t f = t.deliver <- Some f
 
-let link_key a b = (Proc_id.to_int a, Proc_id.to_int b)
-
-let block_link t a b = Hashtbl.replace t.blocked (link_key a b) ()
-
-let unblock_link t a b = Hashtbl.remove t.blocked (link_key a b)
-
 (* One encode per accounted message: the byte count feeds both the
    aggregate and the per-kind counter.  Callers invoke this only for
-   messages that actually travel — a message killed by a blocked link
-   or the drop probability is never encoded at all. *)
+   messages that actually travel — a message killed by a cut link or
+   the loss model is never encoded at all. *)
 let account t (msg : Msg.t) =
   if t.config.account_bytes then begin
     let bytes = String.length (Adgc_serial.Net_codec.encode (Msg.to_sval msg)) in
     Stats.add t.stats "net.bytes" bytes;
     Stats.add t.stats ("net.bytes." ^ Msg.kind msg.payload) bytes
   end
+
+(* The link regime for this send: the plan's link while faults are
+   active, the inherited default afterwards (fault quiescence). *)
+let active_link t key =
+  let quiescent =
+    match t.faults.Faults.link_faults_until with
+    | None -> false
+    | Some until_ -> Scheduler.now t.sched >= until_
+  in
+  if quiescent then Faults.default_link
+  else Faults.link_for t.faults ~src:(fst key) ~dst:(snd key)
+
+let draw_loss t key (lk : Faults.link) =
+  match lk.Faults.loss with
+  | Faults.Inherit_loss -> Rng.bernoulli t.rng t.config.drop_prob
+  | Faults.Bernoulli p -> Rng.bernoulli t.rng p
+  | Faults.Gilbert_elliott { p_enter; p_exit; loss_good; loss_burst } ->
+      let state =
+        match Hashtbl.find_opt t.burst key with
+        | Some r -> r
+        | None ->
+            let r = ref false in
+            Hashtbl.add t.burst key r;
+            r
+      in
+      (if !state then begin
+         if Rng.bernoulli t.rng p_exit then state := false
+       end
+       else if Rng.bernoulli t.rng p_enter then begin
+         state := true;
+         Stats.incr t.stats "net.bursts"
+       end);
+      let lost = Rng.bernoulli t.rng (if !state then loss_burst else loss_good) in
+      if lost && !state then Stats.incr t.stats "net.msg.dropped.burst";
+      lost
+
+let draw_latency t (lk : Faults.link) =
+  let base =
+    match lk.Faults.latency with
+    | Faults.Inherit_latency ->
+        let cfg = t.config in
+        if cfg.latency_max <= cfg.latency_min then cfg.latency_min
+        else Rng.int_in t.rng cfg.latency_min cfg.latency_max
+    | Faults.Fixed d -> d
+    | Faults.Uniform { min; max } -> if max <= min then min else Rng.int_in t.rng min max
+  in
+  if lk.Faults.reorder_prob > 0.0 && Rng.bernoulli t.rng lk.Faults.reorder_prob then begin
+    Stats.incr t.stats "net.msg.reordered";
+    base + Rng.int_in t.rng 1 (Int.max 1 lk.Faults.reorder_skew)
+  end
+  else base
+
+(* Put one copy of the message on the wire.  Each copy gets its own
+   injection id and latency draw, so a duplicate can overtake the
+   original. *)
+let inject t deliver (msg : Msg.t) ~latency =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.in_flight id msg;
+  Scheduler.schedule_after t.sched ~delay:latency (fun () ->
+      Hashtbl.remove t.in_flight id;
+      Stats.incr t.stats "net.msg.delivered";
+      deliver msg)
 
 let send t (msg : Msg.t) =
   let deliver =
@@ -63,30 +156,29 @@ let send t (msg : Msg.t) =
   in
   Stats.incr t.stats "net.msg.sent";
   Stats.incr t.stats ("net.msg.sent." ^ Msg.kind msg.payload);
-  let dropped =
-    Hashtbl.mem t.blocked (link_key msg.src msg.dst)
-    || Rng.bernoulli t.rng t.config.drop_prob
-  in
-  if dropped then begin
+  let key = link_key msg.src msg.dst in
+  let drop reason =
     Stats.incr t.stats "net.msg.dropped";
-    Stats.incr t.stats ("net.msg.dropped." ^ Msg.kind msg.payload)
-  end
+    Stats.incr t.stats ("net.msg.dropped." ^ Msg.kind msg.payload);
+    match reason with Some r -> Stats.incr t.stats ("net.msg.dropped." ^ r) | None -> ()
+  in
+  if Hashtbl.mem t.cut key then drop (Some "partition")
   else begin
-    account t msg;
-    let id = t.next_id in
-    t.next_id <- t.next_id + 1;
-    Hashtbl.replace t.in_flight id msg;
-    let cfg = t.config in
-    let latency =
-      if cfg.latency_max <= cfg.latency_min then cfg.latency_min
-      else Rng.int_in t.rng cfg.latency_min cfg.latency_max
-    in
-    Scheduler.schedule_after t.sched ~delay:latency (fun () ->
-        Hashtbl.remove t.in_flight id;
-        Stats.incr t.stats "net.msg.delivered";
-        deliver msg)
+    let lk = active_link t key in
+    if draw_loss t key lk then drop None
+    else begin
+      account t msg;
+      inject t deliver msg ~latency:(draw_latency t lk);
+      if lk.Faults.duplicate_prob > 0.0 && Rng.bernoulli t.rng lk.Faults.duplicate_prob then begin
+        Stats.incr t.stats "net.msg.duplicated";
+        inject t deliver msg ~latency:(draw_latency t lk)
+      end
+    end
   end
 
-let in_flight t = Hashtbl.fold (fun _ m acc -> m :: acc) t.in_flight []
+let in_flight t =
+  Hashtbl.fold (fun id m acc -> (id, m) :: acc) t.in_flight []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
 
 let in_flight_count t = Hashtbl.length t.in_flight

@@ -1,10 +1,18 @@
 (** The message transport.
 
     Point-to-point, unordered, unreliable: each message is delivered
-    after a uniformly drawn latency, dropped with a configurable
-    probability, or blackholed while its link is partitioned.  All
-    protocols above are required to tolerate this; the tests inject
-    loss and partitions aggressively.
+    after a drawn latency, dropped by the link's loss model, or
+    blackholed while its link is partitioned.  All protocols above are
+    required to tolerate this; the tests inject loss and partitions
+    aggressively.
+
+    Beyond the config's uniform latency / Bernoulli drop baseline, a
+    {!Faults.plan} turns on adversarial delivery per link: correlated
+    loss bursts (Gilbert–Elliott), message duplication (each copy gets
+    its own latency, so a duplicate can overtake the original),
+    bounded reordering, and scheduled partition / heal windows.  Every
+    fate is drawn from the network's seeded RNG — same seed, same
+    plan, same fault sequence.
 
     The network keeps an explicit registry of in-flight messages so
     the omniscient ground-truth checker can treat references inside
@@ -28,7 +36,15 @@ val default_config : unit -> config
 type t
 
 val create :
-  sched:Scheduler.t -> rng:Adgc_util.Rng.t -> stats:Adgc_util.Stats.t -> config:config -> t
+  ?faults:Faults.plan ->
+  sched:Scheduler.t ->
+  rng:Adgc_util.Rng.t ->
+  stats:Adgc_util.Stats.t ->
+  config:config ->
+  unit ->
+  t
+(** Partition / heal events of the plan are scheduled immediately;
+    crash / restart events are the cluster's job. *)
 
 val config : t -> config
 
@@ -37,9 +53,9 @@ val set_deliver : t -> (Msg.t -> unit) -> unit
     first [send]. *)
 
 val send : t -> Msg.t -> unit
-(** Draw latency/drop fate and schedule delivery.  Self-addressed
-    messages are delivered with latency too (a process's DGC talks to
-    itself through the same paths). *)
+(** Draw latency/drop/duplication fate and schedule delivery.
+    Self-addressed messages are delivered with latency too (a
+    process's DGC talks to itself through the same paths). *)
 
 val block_link : t -> Proc_id.t -> Proc_id.t -> unit
 (** Drop everything subsequently sent from the first to the second
@@ -48,5 +64,7 @@ val block_link : t -> Proc_id.t -> Proc_id.t -> unit
 val unblock_link : t -> Proc_id.t -> Proc_id.t -> unit
 
 val in_flight : t -> Msg.t list
+(** Sorted by injection id (send order), so tests and the oracle
+    iterate deterministically. *)
 
 val in_flight_count : t -> int

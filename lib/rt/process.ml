@@ -7,6 +7,8 @@ type t = {
   scions : Scion_table.t;
   rng : Adgc_util.Rng.t;
   mutable alive : bool;
+  mutable next_msg_seq : int;
+  delivered : (int, unit) Hashtbl.t;
   out_seqnos : (int, int) Hashtbl.t;
   mutable set_recipients : Proc_id.Set.t;
   mutable on_cdm : (Cdm.t -> unit) option;
@@ -24,6 +26,8 @@ let create ~id ~rng =
     scions = Scion_table.create ~owner:id;
     rng;
     alive = true;
+    next_msg_seq = 0;
+    delivered = Hashtbl.create 64;
     out_seqnos = Hashtbl.create 8;
     set_recipients = Proc_id.Set.empty;
     on_cdm = None;
@@ -32,6 +36,25 @@ let create ~id ~rng =
     on_hughes = None;
     pstore = None;
   }
+
+let next_msg_seq t =
+  let s = t.next_msg_seq in
+  t.next_msg_seq <- s + 1;
+  s
+
+(* (sender, seq) packed into one int; seqs stay far below 2^44. *)
+let delivery_key ~src ~seq = (Proc_id.to_int src lsl 44) lor seq
+
+let note_delivery t ~src ~seq =
+  if seq < 0 then true
+  else begin
+    let key = delivery_key ~src ~seq in
+    if Hashtbl.mem t.delivered key then false
+    else begin
+      Hashtbl.add t.delivered key ();
+      true
+    end
+  end
 
 let next_out_seqno t ~dst =
   let key = Proc_id.to_int dst in

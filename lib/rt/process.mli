@@ -16,7 +16,12 @@ type t = {
   rng : Adgc_util.Rng.t;
   mutable alive : bool;
       (** crash-stop flag: a dead process sends and receives nothing
-          and performs no duties; its state is unreachable wreckage *)
+          and performs no duties; its state is unreachable wreckage
+          (until a scheduled {!Faults.Restart} revives it) *)
+  mutable next_msg_seq : int;  (** next envelope sequence number (all outgoing traffic) *)
+  delivered : (int, unit) Hashtbl.t;
+      (** packed (sender, seq) pairs already processed — the receiver
+          side of envelope-level duplicate suppression *)
   (* Reference-listing state *)
   out_seqnos : (int, int) Hashtbl.t;  (** next NewSetStubs seqno per destination *)
   mutable set_recipients : Proc_id.Set.t;
@@ -37,6 +42,15 @@ val create : id:Proc_id.t -> rng:Adgc_util.Rng.t -> t
 val next_out_seqno : t -> dst:Proc_id.t -> int
 (** Increment and return the NewSetStubs sequence number for that
     destination. *)
+
+val next_msg_seq : t -> int
+(** Allocate the envelope sequence number for an outgoing message
+    ({!Runtime.send} stamps it on every envelope). *)
+
+val note_delivery : t -> src:Proc_id.t -> seq:int -> bool
+(** [true] on first delivery of that (sender, seq) envelope; [false]
+    for a replay, which the dispatcher must ignore.  Unsequenced
+    envelopes ([seq < 0]) are always fresh. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: heap size, stub/scion counts. *)

@@ -101,8 +101,10 @@ let send t ~src ~dst payload =
   (* Crash-stop: the dead neither speak nor listen.  Receive-side
      filtering happens again at dispatch so a crash mid-flight also
      silences delivery. *)
-  if (proc t src).Process.alive && (proc t dst).Process.alive then
-    Network.send t.net (Msg.make ~src ~dst ~sent_at:(now t) payload)
+  let sender = proc t src in
+  if sender.Process.alive && (proc t dst).Process.alive then
+    let seq = Process.next_msg_seq sender in
+    Network.send t.net (Msg.make ~seq ~src ~dst ~sent_at:(now t) payload)
   else Adgc_util.Stats.incr t.stats "net.msg.dead_endpoint"
 
 (* ------------------------------------------------------------------ *)

@@ -145,6 +145,11 @@ let idle_sources t ~now ~threshold =
   in
   Proc_id.Set.elements sources
 
+let touch_all_sources t ~now =
+  Ref_key.Tbl.iter
+    (fun key _ -> Hashtbl.replace t.set_times (Proc_id.to_int key.Ref_key.src) now)
+    t.entries
+
 let protected_targets t =
   Ref_key.Tbl.fold (fun key _ acc -> Oid.Set.add key.Ref_key.target acc) t.entries Oid.Set.empty
   |> Oid.Set.elements

@@ -111,6 +111,12 @@ val idle_sources : t -> now:int -> threshold:int -> Proc_id.t list
     The probe/answer pair makes the protocol tolerate losing the final
     (empty) stub set a departing holder sends. *)
 
+val touch_all_sources : t -> now:int -> unit
+(** Pretend every holder just spoke: reset the silence clock of every
+    source to [now].  A restarting owner calls this so its own
+    downtime is not mistaken for every holder's crash by
+    [failure_detection] the moment it rejoins. *)
+
 (** {1 Queries used by the collector and the summarizer} *)
 
 val protected_targets : t -> Oid.t list

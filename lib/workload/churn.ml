@@ -53,6 +53,8 @@ let lookup t (p : Process.t) =
   let n = Cluster.n_procs t.cluster in
   let other = (Proc_id.to_int p.Process.id + 1 + Rng.int t.rng (n - 1)) mod n in
   let q = Cluster.proc t.cluster other in
+  if not q.Process.alive then None
+  else
   match (random_obj t p, random_obj t q) with
   | Some holder, Some target ->
       Mutator.wire_remote t.cluster ~holder ~target;
@@ -100,6 +102,8 @@ let do_unlink t (p : Process.t) =
 let step t =
   t.actions <- t.actions + 1;
   let p = Cluster.proc t.cluster (Rng.int t.rng (Cluster.n_procs t.cluster)) in
+  if not p.Process.alive then ()
+  else
   let r = t.rates in
   let total = r.alloc +. r.invoke +. r.export +. r.drop_root +. r.add_root +. r.unlink in
   let x = Rng.float t.rng total in

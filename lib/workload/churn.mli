@@ -33,7 +33,8 @@ val create :
   ?rates:rates -> cluster:Adgc_rt.Cluster.t -> rng:Adgc_util.Rng.t -> unit -> t
 
 val step : t -> unit
-(** Perform one random action somewhere in the cluster. *)
+(** Perform one random action somewhere in the cluster.  An action
+    landing on a crashed process is skipped — the dead run no code. *)
 
 val run : t -> steps:int -> every:int -> unit
 (** Schedule [steps] actions, one every [every] ticks starting now

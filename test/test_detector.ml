@@ -607,6 +607,65 @@ let prop_random_rooted_rings_survive =
          Adgc.Sim.run_for sim 50_000;
          Cluster.total_objects cluster = span * objs_per_proc))
 
+(* ------------------------------------------------------------------ *)
+(* Duplicate delivery: a replayed CDM or cycle-deletion envelope must
+   leave the detector state exactly as the first delivery did. *)
+
+let test_duplicate_cdm_ignored () =
+  let h = mk ~n:4 () in
+  let built = Topology.fig3 h.cluster in
+  Mutator.remove_root h.cluster (Topology.obj built "A");
+  snapshot_all h;
+  ignore (Detector.initiate h.detectors.(1) (Topology.scion_key built ~src:0 "F") : bool);
+  (* Snatch the first CDM off the wire before it lands. *)
+  let cdm_msg =
+    match
+      List.find_opt
+        (fun (m : Msg.t) -> match m.Msg.payload with Msg.Cdm _ -> true | _ -> false)
+        (Network.in_flight (Cluster.net h.cluster))
+    with
+    | Some m -> m
+    | None -> Alcotest.fail "no CDM in flight after initiation"
+  in
+  settle h;
+  let received = stat h "dcda.cdm_received" in
+  let reports = List.length (all_reports h) in
+  check Alcotest.int "detection concluded" 1 reports;
+  (* Adversarial replay of the captured envelope. *)
+  Network.send (Cluster.net h.cluster) cdm_msg;
+  settle h;
+  check Alcotest.int "replay suppressed" 1 (stat h "net.msg.duplicate_ignored");
+  check Alcotest.int "detector never re-ran" received (stat h "dcda.cdm_received");
+  check Alcotest.int "no extra conclusion" reports (List.length (all_reports h))
+
+let test_duplicate_cdm_delete_idempotent () =
+  let h = mk ~n:4 () in
+  let built = Topology.fig3 h.cluster in
+  Mutator.remove_root h.cluster (Topology.obj built "A");
+  let key_f = Topology.scion_key built ~src:0 "F" in
+  let p1 = Cluster.proc h.cluster 1 in
+  check Alcotest.bool "scion exists" true (Scion_table.mem p1.Process.scions key_f);
+  let id = Detection_id.make ~initiator:(Proc_id.of_int 1) ~seq:99 in
+  let payload = Msg.Cdm_delete { id; scions = [ key_f ] } in
+  let msg =
+    Msg.make ~seq:500 ~src:(Proc_id.of_int 3) ~dst:p1.Process.id ~sent_at:0 payload
+  in
+  Network.send (Cluster.net h.cluster) msg;
+  Network.send (Cluster.net h.cluster) msg;
+  settle h;
+  check Alcotest.bool "scion deleted" false (Scion_table.mem p1.Process.scions key_f);
+  check Alcotest.bool "tombstoned" true (Scion_table.tombstoned p1.Process.scions key_f);
+  check Alcotest.int "deleted exactly once" 1 (stat h "dcda.scions_deleted.broadcast");
+  check Alcotest.int "replay suppressed" 1 (stat h "net.msg.duplicate_ignored");
+  (* Same deletion inside a fresh envelope: the handler itself is
+     idempotent — deleting a deleted scion is a no-op. *)
+  let msg' =
+    Msg.make ~seq:501 ~src:(Proc_id.of_int 3) ~dst:p1.Process.id ~sent_at:0 payload
+  in
+  Network.send (Cluster.net h.cluster) msg';
+  settle h;
+  check Alcotest.int "still deleted exactly once" 1 (stat h "dcda.scions_deleted.broadcast")
+
 let suite =
   ( "detector",
     [
@@ -651,4 +710,7 @@ let suite =
         test_small_clique_reclaimed_within_budget;
       prop_random_rings_always_reclaimed;
       prop_random_rooted_rings_survive;
+      Alcotest.test_case "duplicate: CDM replay ignored" `Quick test_duplicate_cdm_ignored;
+      Alcotest.test_case "duplicate: cycle deletion idempotent" `Quick
+        test_duplicate_cdm_delete_idempotent;
     ] )

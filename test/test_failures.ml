@@ -28,12 +28,31 @@ let test_dead_process_is_silent () =
   Sim.start sim;
   Sim.run_for sim 3_000;
   Cluster.crash cluster 0;
-  let sent_before = Adgc_util.Stats.get (Sim.stats sim) "net.msg.sent" in
+  let crashed_at = Cluster.now cluster in
+  (* Sample the wire faster than the minimum latency: every message
+     P0 originated after the crash would be caught in flight. *)
+  let originated_dead = ref 0 in
+  let audit =
+    Scheduler.every (Cluster.sched cluster) ~phase:1 ~period:3 (fun () ->
+        List.iter
+          (fun (m : Msg.t) ->
+            if Proc_id.equal m.Msg.src (Proc_id.of_int 0) && m.Msg.sent_at > crashed_at then
+              incr originated_dead)
+          (Network.in_flight (Cluster.net cluster)))
+  in
   Sim.run_for sim 5_000;
+  Scheduler.cancel audit;
   (* P1 keeps probing (owner side), but nothing originates at P0. *)
   let dead_drops = Adgc_util.Stats.get (Sim.stats sim) "net.msg.dead_endpoint" in
   check Alcotest.bool "messages to the dead are dropped" true (dead_drops > 0);
-  ignore sent_before;
+  check Alcotest.int "nothing originates at the dead process" 0 !originated_dead;
+  (* Direct attempt: a send whose source is dead is swallowed before
+     it reaches the wire. *)
+  let sent = Adgc_util.Stats.get (Sim.stats sim) "net.msg.sent" in
+  Runtime.send (Cluster.rt cluster) ~src:(Proc_id.of_int 0) ~dst:(Proc_id.of_int 1)
+    Msg.Scion_probe;
+  check Alcotest.int "dead source never hits the wire" sent
+    (Adgc_util.Stats.get (Sim.stats sim) "net.msg.sent");
   check Alcotest.bool "p0 reported dead" false (Cluster.alive cluster 0)
 
 let test_crash_without_detection_leaks () =

@@ -17,5 +17,6 @@ let () =
       Test_hughes.suite;
       Test_model.suite;
       Test_matrix.suite;
+      Test_faults_matrix.suite;
       Test_sim.suite;
     ]

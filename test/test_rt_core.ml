@@ -192,7 +192,7 @@ let mk_net ?(drop = 0.0) ?(lat_min = 5) ?(lat_max = 25) () =
   config.Network.drop_prob <- drop;
   config.Network.latency_min <- lat_min;
   config.Network.latency_max <- lat_max;
-  let net = Network.create ~sched ~rng:(Rng.create 1) ~stats ~config in
+  let net = Network.create ~sched ~rng:(Rng.create 1) ~stats ~config () in
   (sched, stats, net)
 
 let probe_msg () = Msg.make ~src:p0 ~dst:p1 ~sent_at:0 Msg.Scion_probe

@@ -658,6 +658,100 @@ let test_batching_detection_converges () =
   check Alcotest.bool "cycle reclaimed with batching on" true
     (Adgc.Sim.run_until_clean ~step:1_000 ~max_time:300_000 sim)
 
+(* ------------------------------------------------------------------ *)
+(* Duplicate delivery (network replay) idempotence.  The envelope
+   sequence number makes every handler run at most once per sequenced
+   envelope; an application-level replay inside a fresh envelope is
+   additionally stale-guarded by the stub-set seqno. *)
+
+let scion_state (p : Process.t) =
+  List.map
+    (fun (e : Scion_table.entry) -> (e.Scion_table.key, e.Scion_table.ic, e.Scion_table.confirmed))
+    (Scion_table.entries p.Process.scions)
+
+let mk_wired () =
+  let cluster = mk ~n:2 () in
+  let target = Mutator.alloc cluster ~proc:0 () in
+  let holder = Mutator.alloc cluster ~proc:1 () in
+  Mutator.add_root cluster holder;
+  Mutator.wire_remote cluster ~holder ~target;
+  (cluster, Oid.Map.singleton target.Heap.oid 0)
+
+let test_duplicate_new_set_idempotent () =
+  let cluster, targets = mk_wired () in
+  let stats = Cluster.stats cluster in
+  let p0 = Cluster.proc cluster 0 and p1 = Cluster.proc cluster 1 in
+  (* One concrete stub-set envelope from P1, replayed verbatim — what
+     a duplicating network manufactures. *)
+  let msg =
+    Msg.make ~seq:900 ~src:p1.Process.id ~dst:p0.Process.id ~sent_at:0
+      (Msg.New_set_stubs { seqno = 0; targets })
+  in
+  Network.send (Cluster.net cluster) msg;
+  settle cluster;
+  let before = scion_state p0 in
+  Network.send (Cluster.net cluster) msg;
+  settle cluster;
+  check Alcotest.int "replay suppressed" 1 (Stats.get stats "net.msg.duplicate_ignored");
+  check Alcotest.int "handler never re-ran" 0 (Stats.get stats "reflist.sets_stale");
+  check Alcotest.bool "scion table unchanged" true (scion_state p0 = before);
+  (* The same set inside a fresh envelope is not a network replay; the
+     per-(sender, destination) stub-set seqno makes it just as inert. *)
+  let msg' =
+    Msg.make ~seq:901 ~src:p1.Process.id ~dst:p0.Process.id ~sent_at:0
+      (Msg.New_set_stubs { seqno = 0; targets })
+  in
+  Network.send (Cluster.net cluster) msg';
+  settle cluster;
+  check Alcotest.int "stale at the application layer" 1 (Stats.get stats "reflist.sets_stale");
+  check Alcotest.bool "scion table still unchanged" true (scion_state p0 = before)
+
+let test_duplicate_batch_idempotent () =
+  (* Deduplication is per envelope: the constituents of a batch share
+     their envelope's sequence number and must all be processed on
+     first delivery — and none on a replay. *)
+  let cluster, targets = mk_wired () in
+  let stats = Cluster.stats cluster in
+  let p0 = Cluster.proc cluster 0 and p1 = Cluster.proc cluster 1 in
+  let set seqno = Msg.New_set_stubs { seqno; targets } in
+  let msg =
+    Msg.make ~seq:77 ~src:p1.Process.id ~dst:p0.Process.id ~sent_at:0 (Msg.Batch [ set 0; set 1 ])
+  in
+  Network.send (Cluster.net cluster) msg;
+  settle cluster;
+  check Alcotest.int "both constituents processed" 1
+    (Scion_table.last_seqno p0.Process.scions p1.Process.id);
+  check Alcotest.int "constituents not each other's replays" 0
+    (Stats.get stats "net.msg.duplicate_ignored");
+  let before = scion_state p0 in
+  Network.send (Cluster.net cluster) msg;
+  settle cluster;
+  check Alcotest.int "envelope replay suppressed" 1 (Stats.get stats "net.msg.duplicate_ignored");
+  check Alcotest.int "nothing reprocessed" 0 (Stats.get stats "reflist.sets_stale");
+  check Alcotest.bool "scion table unchanged" true (scion_state p0 = before)
+
+let test_duplicated_traffic_converges () =
+  (* End-to-end: with the network duplicating a third of all traffic,
+     the acyclic protocol neither leaks nor over-reclaims. *)
+  let faults =
+    { Faults.none with Faults.default_link = { Faults.default_link with duplicate_prob = 0.35 } }
+  in
+  let net_config = Network.default_config () in
+  let cluster = Cluster.create ~seed:5 ~net_config ~faults ~n:3 () in
+  let a = Mutator.alloc cluster ~proc:0 () in
+  let b = Mutator.alloc cluster ~proc:1 () in
+  let c = Mutator.alloc cluster ~proc:2 () in
+  Mutator.wire_remote cluster ~holder:a ~target:b;
+  Mutator.wire_remote cluster ~holder:b ~target:c;
+  Mutator.add_root cluster a;
+  gc_rounds cluster 3;
+  check Alcotest.int "all alive under duplication" 3 (Cluster.total_objects cluster);
+  Mutator.remove_root cluster a;
+  gc_rounds cluster 5;
+  check Alcotest.int "all reclaimed under duplication" 0 (Cluster.total_objects cluster);
+  check Alcotest.bool "duplicates were suppressed" true
+    (Stats.get (Cluster.stats cluster) "net.msg.duplicate_ignored" > 0)
+
 let suite =
   ( "rt-gc",
     [
@@ -706,4 +800,10 @@ let suite =
         test_batching_cuts_clique_traffic;
       Alcotest.test_case "batching: cycle detection converges" `Quick
         test_batching_detection_converges;
+      Alcotest.test_case "duplicate: new-set replay is idempotent" `Quick
+        test_duplicate_new_set_idempotent;
+      Alcotest.test_case "duplicate: batch replay is idempotent" `Quick
+        test_duplicate_batch_idempotent;
+      Alcotest.test_case "duplicate: acyclic protocol converges" `Quick
+        test_duplicated_traffic_converges;
     ] )
