@@ -114,8 +114,13 @@ let build_topology topology cluster ~seed ~objects ~edges =
       Topology.chain_into_ring cluster
         ~procs:(List.init (Cluster.n_procs cluster) (fun i -> i))
 
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 let run_cmd topology procs seed loss detector time churn_steps objects edges trace_topics
-    crash_list faults_profile inspect quiet =
+    crash_list faults_profile metrics_file spans_file inspect quiet =
   let n_procs = Int.max procs (min_procs topology) in
   let config = Config.quick ~seed ~n_procs () in
   config.Config.net.Network.drop_prob <- loss;
@@ -126,7 +131,8 @@ let run_cmd topology procs seed loss detector time churn_steps objects edges tra
     | None -> Faults.none
     | Some p -> Faults.plan_of_profile ~start:(time / 5) ~stop:(time * 3 / 5) ~n_procs p
   in
-  let config = { config with Config.detector; faults } in
+  let telemetry = metrics_file <> None || spans_file <> None in
+  let config = { config with Config.detector; faults; telemetry } in
   let sim = Sim.create ~config () in
   let cluster = Sim.cluster sim in
   let checker = Metrics.install_safety_checker cluster in
@@ -171,6 +177,32 @@ let run_cmd topology procs seed loss detector time churn_steps objects edges tra
         (Trace.by_topic (Sim.trace sim) topic))
     trace_topics;
   Oracle.stop oracle;
+  Sim.teardown sim;
+  (match metrics_file with
+  | None -> ()
+  | Some path ->
+      let meta =
+        [
+          ("seed", Adgc_util.Json.Int seed);
+          ("procs", Adgc_util.Json.Int n_procs);
+          ("time", Adgc_util.Json.Int time);
+          ( "detector",
+            Adgc_util.Json.Str
+              (match detector with
+              | Config.Dcda -> "dcda"
+              | Config.Backtrack -> "backtrack"
+              | Config.Hughes_gc -> "hughes"
+              | Config.No_detector -> "none") );
+        ]
+      in
+      write_file path
+        (Adgc_util.Json.to_string_pretty (Adgc_obs.Export.metrics_document ~meta (Sim.stats sim)));
+      if not quiet then Printf.printf "metrics written to %s\n" path);
+  (match spans_file with
+  | None -> ()
+  | Some path ->
+      write_file path (Adgc_util.Json.to_string (Adgc_obs.Export.chrome_trace (Sim.obs sim)));
+      if not quiet then Printf.printf "spans written to %s\n" path);
   match (Metrics.violations checker, Oracle.first_report oracle) with
   | [], None ->
       if final.Metrics.garbage = 0 then begin
@@ -188,9 +220,29 @@ let run_cmd topology procs seed loss detector time churn_steps objects edges tra
       Option.iter (fun r -> Printf.eprintf "ORACLE:\n%s\n" r) oracle_report;
       1
 
-let trace_cmd topology seed =
+type trace_format = Text | Chrome | Jsonl
+
+let trace_format_conv =
+  let parse = function
+    | "text" -> Ok Text
+    | "chrome" -> Ok Chrome
+    | "jsonl" -> Ok Jsonl
+    | s -> Error (`Msg (Printf.sprintf "unknown trace format %S" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with Text -> "text" | Chrome -> "chrome" | Jsonl -> "jsonl")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let trace_cmd topology seed format out =
   let n_procs = min_procs topology in
   let config = Config.quick ~seed ~n_procs () in
+  (* Structured exports need the span ring; the text dump keeps the
+     seed behaviour (plain Trace buffer, telemetry off). *)
+  let config =
+    { config with Config.telemetry = (match format with Text -> false | Chrome | Jsonl -> true) }
+  in
   let sim = Sim.create ~config () in
   let cluster = Sim.cluster sim in
   let built = build_topology topology cluster ~seed ~objects:0 ~edges:0 in
@@ -198,18 +250,31 @@ let trace_cmd topology seed =
   Sim.run_for sim 1_000;
   Sim.snapshot_all sim;
   let started = Sim.scan_all sim in
-  Format.printf "detections initiated by one scan: %d@." started;
   ignore (Cluster.drain cluster : int);
-  List.iter
-    (fun (e : Trace.event) -> Format.printf "%a@." Trace.pp_event e)
-    (Trace.by_topic (Sim.trace sim) "dcda");
-  List.iter
-    (fun (r : Adgc_dcda.Report.t) ->
-      Format.printf "@.proven cycle (%d refs):@." (List.length r.Adgc_dcda.Report.proven);
+  Sim.teardown sim;
+  let emit contents =
+    match out with
+    | None -> print_string contents
+    | Some path ->
+        write_file path contents;
+        Printf.printf "trace written to %s\n" path
+  in
+  (match format with
+  | Chrome -> emit (Adgc_util.Json.to_string (Adgc_obs.Export.chrome_trace (Sim.obs sim)))
+  | Jsonl -> emit (Adgc_obs.Export.jsonl (Sim.obs sim))
+  | Text ->
+      Format.printf "detections initiated by one scan: %d@." started;
       List.iter
-        (fun key -> Format.printf "  %a@." (Names.pp_ref built.Topology.names) key)
-        r.Adgc_dcda.Report.proven)
-    (Sim.reports sim);
+        (fun (e : Trace.event) -> Format.printf "%a@." Trace.pp_event e)
+        (Trace.by_topic (Sim.trace sim) "dcda");
+      List.iter
+        (fun (r : Adgc_dcda.Report.t) ->
+          Format.printf "@.proven cycle (%d refs):@." (List.length r.Adgc_dcda.Report.proven);
+          List.iter
+            (fun key -> Format.printf "  %a@." (Names.pp_ref built.Topology.names) key)
+            r.Adgc_dcda.Report.proven;
+          Format.printf "%a@." Adgc_dcda.Report.pp_lineage r)
+        (Sim.reports sim));
   0
 
 open Cmdliner
@@ -245,6 +310,37 @@ let crash_arg =
 let inspect_arg =
   Arg.(value & flag & info [ "inspect" ] ~doc:"Dump the full cluster state at the end.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ]
+        ~doc:"Write the run's metrics (counters, histograms, series) as JSON to $(docv). Implies telemetry."
+        ~docv:"FILE")
+
+let spans_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans" ]
+        ~doc:"Write the run's span timeline as Chrome trace_event JSON to $(docv). Implies telemetry."
+        ~docv:"FILE")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt trace_format_conv Text
+    & info [ "format"; "f" ]
+        ~doc:"Output format: text (CDM trace + lineage), chrome (trace_event JSON for \
+              about:tracing/Perfetto) or jsonl (one span per line)."
+        ~docv:"FORMAT")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~doc:"Write the export to $(docv) instead of stdout." ~docv:"FILE")
+
 let faults_arg =
   Arg.(
     value
@@ -259,12 +355,12 @@ let faults_arg =
 let run_term =
   Term.(
     const run_cmd $ topology_arg $ procs_arg $ seed_arg $ loss_arg $ detector_arg $ time_arg
-    $ churn_arg $ objects_arg $ edges_arg $ trace_arg $ crash_arg $ faults_arg $ inspect_arg
-    $ quiet_arg)
+    $ churn_arg $ objects_arg $ edges_arg $ trace_arg $ crash_arg $ faults_arg $ metrics_arg
+    $ spans_arg $ inspect_arg $ quiet_arg)
 
 let run_cmd_info = Cmd.info "run" ~doc:"Run a scenario end to end and report."
 
-let trace_term = Term.(const trace_cmd $ topology_arg $ seed_arg)
+let trace_term = Term.(const trace_cmd $ topology_arg $ seed_arg $ trace_format_arg $ out_arg)
 
 let trace_cmd_info =
   Cmd.info "trace" ~doc:"Run one detection on a figure topology and print the CDM trace."

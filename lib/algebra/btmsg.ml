@@ -51,3 +51,52 @@ let to_sval = function
             ("subject", ref_to_sval r.subject);
             ("verdict", Sval.Bool (match r.verdict with Rooted -> true | Cycle_back -> false));
           ] )
+
+let ref_of_sval = function
+  | Sval.List [ Sval.Int src; Sval.Int owner; Sval.Int serial ]
+    when src >= 0 && owner >= 0 && serial >= 0 ->
+      Some
+        (Ref_key.make ~src:(Proc_id.of_int src)
+           ~target:(Oid.make ~owner:(Proc_id.of_int owner) ~serial))
+  | _ -> None
+
+let refs_of_sval svals =
+  List.fold_right
+    (fun sv acc ->
+      match (acc, ref_of_sval sv) with Some acc, Some k -> Some (k :: acc) | _ -> None)
+    svals (Some [])
+
+let of_sval = function
+  | Sval.Record
+      ( "bt_query",
+        [
+          ("initiator", Sval.Int initiator);
+          ("seq", Sval.Int seq);
+          ("subject", subject);
+          ("visited", Sval.List visited);
+        ] )
+    when initiator >= 0 -> (
+      match (ref_of_sval subject, refs_of_sval visited) with
+      | Some subject, Some visited ->
+          Some (Query { trace = { initiator = Proc_id.of_int initiator; seq }; subject; visited })
+      | _ -> None)
+  | Sval.Record
+      ( "bt_reply",
+        [
+          ("initiator", Sval.Int initiator);
+          ("seq", Sval.Int seq);
+          ("subject", subject);
+          ("verdict", Sval.Bool verdict);
+        ] )
+    when initiator >= 0 -> (
+      match ref_of_sval subject with
+      | Some subject ->
+          Some
+            (Reply
+               {
+                 trace = { initiator = Proc_id.of_int initiator; seq };
+                 subject;
+                 verdict = (if verdict then Rooted else Cycle_back);
+               })
+      | None -> None)
+  | _ -> None

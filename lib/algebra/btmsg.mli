@@ -31,4 +31,6 @@ type t = Query of query | Reply of reply
 val pp : Format.formatter -> t -> unit
 
 val to_sval : t -> Adgc_serial.Sval.t
+
+val of_sval : Adgc_serial.Sval.t -> t option
 (** For message-size accounting in the E7 comparison bench. *)

@@ -29,3 +29,19 @@ let to_sval = function
           ] )
   | Report { round_time } -> Sval.Record ("h_report", [ ("round_time", Sval.Int round_time) ])
   | Threshold { value } -> Sval.Record ("h_threshold", [ ("value", Sval.Int value) ])
+
+let of_sval = function
+  | Sval.Record ("h_stamp", [ ("stamps", Sval.List entries) ]) ->
+      List.fold_right
+        (fun sv acc ->
+          match (acc, sv) with
+          | Some acc, Sval.List [ Sval.Int owner; Sval.Int serial; Sval.Int stamp ]
+            when owner >= 0 && serial >= 0 ->
+              Some ((Oid.make ~owner:(Proc_id.of_int owner) ~serial, stamp) :: acc)
+          | _ -> None)
+        entries (Some [])
+      |> Option.map (fun stamps -> Stamp stamps)
+  | Sval.Record ("h_report", [ ("round_time", Sval.Int round_time) ]) ->
+      Some (Report { round_time })
+  | Sval.Record ("h_threshold", [ ("value", Sval.Int value) ]) -> Some (Threshold { value })
+  | _ -> None

@@ -18,3 +18,5 @@ type t =
 val pp : Format.formatter -> t -> unit
 
 val to_sval : t -> Adgc_serial.Sval.t
+
+val of_sval : Adgc_serial.Sval.t -> t option

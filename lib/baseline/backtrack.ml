@@ -2,6 +2,12 @@ open Adgc_algebra
 open Adgc_rt
 module Summary = Adgc_snapshot.Summary
 module Stats = Adgc_util.Stats
+module Lineage = Adgc_obs.Lineage
+
+(* Back-traces share the detection lineage registry with the DCDA: a
+   trace id is isomorphic to a detection id. *)
+let det_id (trace : Btmsg.trace_id) =
+  Detection_id.make ~initiator:trace.Btmsg.initiator ~seq:trace.Btmsg.seq
 
 module Trace_map = Map.Make (struct
   type t = Btmsg.trace_id
@@ -86,6 +92,15 @@ let finish_waiting t ~trace (w : waiting) verdict =
    rooted here, or recursively through the scions leading to it. *)
 let handle_query t ~src (q : Btmsg.query) =
   let trace = q.Btmsg.trace and subject = q.Btmsg.subject in
+  Lineage.record t.rt.Runtime.lineage (det_id trace)
+    (Lineage.Received
+       {
+         at = proc_id t;
+         time = Runtime.now t.rt;
+         sources = 0;
+         targets = 1;
+         hops = List.length q.Btmsg.visited;
+       });
   let answer verdict = reply t ~dst:src ~trace ~subject verdict in
   match t.summary with
   | None -> answer Btmsg.Rooted (* unknown: conservative *)
@@ -134,6 +149,16 @@ let handle_query t ~src (q : Btmsg.query) =
                       memoize t ~trace ~dep In_flight;
                       t.dep_waiters <- Key_map.add (trace, dep) [ subject ] t.dep_waiters;
                       track_state_peak t;
+                      Lineage.record t.rt.Runtime.lineage (det_id trace)
+                        (Lineage.Sent
+                           {
+                             at = proc_id t;
+                             dst = dep.Ref_key.src;
+                             time = Runtime.now t.rt;
+                             sources = 0;
+                             targets = 1;
+                             hops = 1 + List.length visited;
+                           });
                       send_bt t ~dst:dep.Ref_key.src
                         (Btmsg.Query { trace; subject = dep; visited = dep :: visited }))
                 deps
@@ -143,6 +168,9 @@ let handle_query t ~src (q : Btmsg.query) =
 let conclude_initiator t ~trace ~root verdict =
   t.initiated <- Trace_map.remove trace t.initiated;
   let garbage = match verdict with Btmsg.Cycle_back -> true | Btmsg.Rooted -> false in
+  Lineage.record t.rt.Runtime.lineage (det_id trace)
+    (Lineage.Concluded
+       { at = proc_id t; time = Runtime.now t.rt; proven = garbage; hops = 0; refs = 1 });
   t.verdicts_acc <- (root, garbage) :: t.verdicts_acc;
   if garbage then begin
     Stats.incr t.rt.Runtime.stats "bt.cycles_found";
@@ -194,10 +222,15 @@ let suspect t key =
             t.next_seq <- t.next_seq + 1;
             t.initiated <- Trace_map.add trace key t.initiated;
             Stats.incr t.rt.Runtime.stats "bt.traces_started";
+            Lineage.record t.rt.Runtime.lineage (det_id trace)
+              (Lineage.Initiated { at = proc_id t; time = Runtime.now t.rt; candidate = key });
             Scheduler.schedule_after t.rt.Runtime.sched ~delay:t.timeout (fun () ->
                 if Trace_map.mem trace t.initiated then begin
                   t.initiated <- Trace_map.remove trace t.initiated;
-                  Stats.incr t.rt.Runtime.stats "bt.timeouts"
+                  Stats.incr t.rt.Runtime.stats "bt.timeouts";
+                  Lineage.record t.rt.Runtime.lineage (det_id trace)
+                    (Lineage.Guard
+                       { at = proc_id t; time = Runtime.now t.rt; reason = "timeout" })
                 end);
             send_bt t ~dst:key.Ref_key.src
               (Btmsg.Query { trace; subject = key; visited = [ key ] });

@@ -9,6 +9,7 @@ type t = {
   mutable events : event list;  (** newest first *)
   mutable first_report : string option;
   mutable handle : Scheduler.recurring option;
+  mutable stopped : bool;
 }
 
 let trace_tail ppf trace =
@@ -19,13 +20,29 @@ let trace_tail ppf trace =
     (fun i e -> if i >= skip then Format.fprintf ppf "%a@," Trace.pp_event e)
     events
 
+(* With telemetry on, every detection's hop chain goes into the
+   report: a safety violation usually traces back to the detection
+   that deleted the scion, and the lineage shows exactly which hops
+   and guards led there. *)
+let lineage_chains ppf cluster =
+  let lineage = Cluster.lineage cluster in
+  match Adgc_obs.Lineage.detections lineage with
+  | [] -> Format.fprintf ppf "(no lineage: telemetry was off)"
+  | ids ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+        (fun ppf id -> Adgc_obs.Lineage.pp_chain ppf (lineage, id))
+        ppf ids
+
 let report t violation =
   Format.asprintf
-    "@[<v>oracle: first violation at t=%d: %a@,@,-- cluster --@,%a@,-- trace tail --@,%a@]"
+    "@[<v>oracle: first violation at t=%d: %a@,@,-- cluster --@,%a@,-- trace tail --@,%a@,-- \
+     detection lineage --@,%a@]"
     (Cluster.now t.cluster) Invariant.pp violation
     (fun ppf c -> Adgc_workload.Inspect.pp_cluster ppf c)
     t.cluster
     trace_tail (Cluster.trace t.cluster)
+    lineage_chains t.cluster
 
 let record t violation =
   if t.first_report = None then t.first_report <- Some (report t violation);
@@ -33,8 +50,22 @@ let record t violation =
 
 let sweep_instantaneous t = List.iter (record t) (Invariant.check t.cluster)
 
+let stop t =
+  (* Idempotent: long bench runs tear the cluster down while the
+     caller may still call [stop] on its own — the final sweep must
+     run exactly once and the recurring handle must never survive. *)
+  if not t.stopped then begin
+    t.stopped <- true;
+    (match t.handle with
+    | Some h ->
+        Scheduler.cancel h;
+        t.handle <- None
+    | None -> ());
+    sweep_instantaneous t
+  end
+
 let install ?(window = 500) cluster =
-  let t = { cluster; events = []; first_report = None; handle = None } in
+  let t = { cluster; events = []; first_report = None; handle = None; stopped = false } in
   let rt = Cluster.rt cluster in
   let previous = rt.Runtime.on_pre_sweep in
   rt.Runtime.on_pre_sweep <-
@@ -43,21 +74,19 @@ let install ?(window = 500) cluster =
         (match previous with Some f -> f proc doomed | None -> ());
         (* Every heap is still intact here, so ground truth is exact
            for the objects about to go. *)
-        let live = Cluster.globally_live cluster in
-        List.iter
-          (fun oid ->
-            if Oid.Set.mem oid live then record t (Invariant.Live_reclaimed { proc; oid }))
-          doomed);
-  t.handle <- Some (Scheduler.every (Cluster.sched cluster) ~period:window (fun () -> sweep_instantaneous t));
+        if not t.stopped then begin
+          let live = Cluster.globally_live cluster in
+          List.iter
+            (fun oid ->
+              if Oid.Set.mem oid live then record t (Invariant.Live_reclaimed { proc; oid }))
+            doomed
+        end);
+  t.handle <-
+    Some (Scheduler.every (Cluster.sched cluster) ~period:window (fun () -> sweep_instantaneous t));
+  Cluster.at_teardown cluster (fun () -> stop t);
   t
 
-let stop t =
-  (match t.handle with
-  | Some h ->
-      Scheduler.cancel h;
-      t.handle <- None
-  | None -> ());
-  sweep_instantaneous t
+let stopped t = t.stopped
 
 let events t = List.rev t.events
 

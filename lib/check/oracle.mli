@@ -29,10 +29,16 @@ val install : ?window:int -> Adgc_rt.Cluster.t -> t
 (** Start watching.  [window] (default 500 ticks) is the period of the
     instantaneous-invariant sweep.  The pre-sweep hook chains: a
     previously installed hook (e.g. {!Adgc_workload.Metrics}'s
-    checker) keeps running. *)
+    checker) keeps running.  The oracle registers itself with
+    {!Adgc_rt.Cluster.at_teardown}, so tearing the cluster down
+    detaches it automatically. *)
 
 val stop : t -> unit
-(** Cancel the recurring sweep and run one final check. *)
+(** Cancel the recurring sweep and run one final check.  Idempotent:
+    the final check runs exactly once however many times [stop] fires
+    (explicitly, or via cluster teardown). *)
+
+val stopped : t -> bool
 
 val events : t -> event list
 (** Every recorded violation, oldest first.  A persistent broken

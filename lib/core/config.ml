@@ -13,6 +13,7 @@ type t = {
   incremental_snapshots : bool;
   bt_timeout : int;
   bt_idle_threshold : int;
+  telemetry : bool;
 }
 
 let default ?(seed = 42) ?(n_procs = 4) () =
@@ -29,6 +30,7 @@ let default ?(seed = 42) ?(n_procs = 4) () =
     incremental_snapshots = false;
     bt_timeout = 50_000;
     bt_idle_threshold = 2_000;
+    telemetry = false;
   }
 
 let quick ?(seed = 42) ?(n_procs = 4) () =

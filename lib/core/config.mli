@@ -23,6 +23,9 @@ type t = {
           re-summarization at every snapshot *)
   bt_timeout : int;  (** back-tracing initiator/state timeout *)
   bt_idle_threshold : int;
+  telemetry : bool;
+      (** enable structured spans and detection lineage (see
+          {!Adgc_obs}); default off — every hook is then one branch *)
 }
 
 val default : ?seed:int -> ?n_procs:int -> unit -> t

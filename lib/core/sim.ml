@@ -22,7 +22,8 @@ let create ?config () =
   let config = match config with Some c -> c | None -> Config.default () in
   let cluster =
     Cluster.create ~seed:config.Config.seed ~config:config.Config.runtime
-      ~net_config:config.Config.net ~faults:config.Config.faults ~n:config.Config.n_procs ()
+      ~net_config:config.Config.net ~faults:config.Config.faults
+      ~telemetry:config.Config.telemetry ~n:config.Config.n_procs ()
   in
   let rt = Cluster.rt cluster in
   let store =
@@ -127,6 +128,14 @@ let stop t =
       t.hughes <- None
   | None -> ());
   Cluster.stop_gc t.cluster
+
+let teardown t =
+  stop t;
+  Cluster.teardown t.cluster
+
+let obs t = Cluster.obs t.cluster
+
+let lineage t = Cluster.lineage t.cluster
 
 let run_gc_cycle t =
   snapshot_all t;

@@ -29,11 +29,20 @@ val stats : t -> Adgc_util.Stats.t
 
 val trace : t -> Adgc_util.Trace.t
 
+val obs : t -> Adgc_obs.Span.t
+
+val lineage : t -> Adgc_obs.Lineage.t
+
 (** {1 Driving} *)
 
 val start : t -> unit
 
 val stop : t -> unit
+
+val teardown : t -> unit
+(** [stop] plus {!Adgc_rt.Cluster.teardown}: detaches every
+    registered checker/sampler and closes the root telemetry span.
+    Idempotent; results remain readable. *)
 
 val now : t -> int
 

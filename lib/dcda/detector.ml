@@ -2,6 +2,8 @@ open Adgc_algebra
 open Adgc_rt
 module Summary = Adgc_snapshot.Summary
 module Stats = Adgc_util.Stats
+module Span = Adgc_obs.Span
+module Lineage = Adgc_obs.Lineage
 
 type t = {
   rt : Runtime.t;
@@ -33,6 +35,8 @@ let detections_started t = t.started
 
 let abort t id reason =
   Stats.incr t.rt.Runtime.stats ("dcda.abort." ^ reason);
+  Lineage.record t.rt.Runtime.lineage id
+    (Lineage.Guard { at = proc_id t; time = Runtime.now t.rt; reason });
   Runtime.log t.rt ~topic:"dcda" "%a: %a aborted (%s)" Proc_id.pp (proc_id t) Detection_id.pp id
     reason
 
@@ -73,14 +77,36 @@ let conclude t ~(id : Detection_id.t) ~algebra ~(arrival : Ref_key.t) ~hops =
         by_owner
   | Policy.Arrival_only | Policy.All_local -> ());
   Stats.incr t.rt.Runtime.stats "dcda.cycles_found";
+  let now = Runtime.now t.rt in
+  let lineage = t.rt.Runtime.lineage in
+  if Lineage.enabled lineage then begin
+    Lineage.record lineage id
+      (Lineage.Concluded
+         { at = proc_id t; time = now; proven = true; hops; refs = List.length proven });
+    Stats.observe t.rt.Runtime.stats "dcda.cdm_chain_hops" (float_of_int hops);
+    (* Detection latency needs the initiation tick, which only the
+       lineage registry (fed at the initiator) knows — hence this
+       metric exists only under telemetry. *)
+    (match Lineage.hops lineage id with
+    | Lineage.Initiated { time = t0; _ } :: _ ->
+        Stats.observe t.rt.Runtime.stats "dcda.detection_latency" (float_of_int (now - t0))
+    | _ -> ());
+    match Lineage.span lineage id with
+    | Some span ->
+        Span.end_span t.rt.Runtime.obs ~time:now
+          ~args:[ ("proven", string_of_int (List.length proven)); ("hops", string_of_int hops) ]
+          span
+    | None -> ()
+  end;
   let report =
     {
       Report.id;
       concluded_at = proc_id t;
-      concluded_time = Runtime.now t.rt;
+      concluded_time = now;
       proven;
       hops;
       deleted_here;
+      lineage = Lineage.hops lineage id;
     }
   in
   t.reports <- report :: t.reports;
@@ -163,6 +189,14 @@ let proceed_from t ~id ~delivered ~(si : Summary.scion_info) ~hops ~budget =
        zero-leftover child is still sent — its delivery can conclude
        the detection without forwarding further). *)
     let k = List.length derivations in
+    (* A chain that cannot fan out any further is a dead end, not an
+       abort — but the lineage should still say where it stopped. *)
+    if k = 0 then
+      Lineage.record t.rt.Runtime.lineage id
+        (Lineage.Guard { at = proc_id t; time = Runtime.now t.rt; reason = "dead_end" })
+    else if budget <= 0 then
+      Lineage.record t.rt.Runtime.lineage id
+        (Lineage.Guard { at = proc_id t; time = Runtime.now t.rt; reason = "budget" });
     if k > 0 && budget > 0 then begin
       let to_send = Int.min k budget in
       let leftover = budget - to_send in
@@ -178,6 +212,16 @@ let proceed_from t ~id ~delivered ~(si : Summary.scion_info) ~hops ~budget =
           else begin
             let child_budget = share + (if slot < extra then 1 else 0) in
             Stats.incr t.rt.Runtime.stats "dcda.cdm_sent";
+            Lineage.record t.rt.Runtime.lineage id
+              (Lineage.Sent
+                 {
+                   at = proc_id t;
+                   dst = Ref_key.owner stub_key;
+                   time = Runtime.now t.rt;
+                   sources = List.length (Algebra.source alg);
+                   targets = List.length (Algebra.target alg);
+                   hops = hops + 1;
+                 });
             Runtime.send_dgc t.rt ~src:(proc_id t)
               ~dst:(Ref_key.owner stub_key)
               (Msg.Cdm
@@ -192,6 +236,15 @@ let proceed_from t ~id ~delivered ~(si : Summary.scion_info) ~hops ~budget =
 let handle_cdm t (cdm : Cdm.t) =
   Stats.incr t.rt.Runtime.stats "dcda.cdm_received";
   let id = cdm.Cdm.id in
+  Lineage.record t.rt.Runtime.lineage id
+    (Lineage.Received
+       {
+         at = proc_id t;
+         time = Runtime.now t.rt;
+         sources = List.length (Algebra.source cdm.Cdm.algebra);
+         targets = List.length (Algebra.target cdm.Cdm.algebra);
+         hops = cdm.Cdm.hops;
+       });
   match t.summary with
   | None -> abort t id "no_summary"
   | Some summary -> (
@@ -258,6 +311,19 @@ let initiate t key =
             Ref_key.Tbl.replace t.attempts key
               (1 + Option.value ~default:0 (Ref_key.Tbl.find_opt t.attempts key));
             Stats.incr t.rt.Runtime.stats "dcda.detections_started";
+            let lineage = t.rt.Runtime.lineage in
+            if Lineage.enabled lineage then begin
+              let now = Runtime.now t.rt in
+              Lineage.record lineage id
+                (Lineage.Initiated { at = proc_id t; time = now; candidate = key });
+              let span =
+                Span.begin_span t.rt.Runtime.obs ~time:now ~parent:t.rt.Runtime.run_span
+                  ~proc:(Proc_id.to_int (proc_id t))
+                  ~kind:Span.Detection
+                  (Printf.sprintf "detection %s" (Detection_id.to_string id))
+              in
+              Lineage.set_span lineage id span
+            end;
             Runtime.log t.rt ~topic:"dcda" "%a: detection %a starts from candidate %a" Proc_id.pp
               (proc_id t) Detection_id.pp id Ref_key.pp key;
             let alg = Algebra.add_exn Algebra.empty Algebra.Source key ~ic:si.Summary.scion_ic in

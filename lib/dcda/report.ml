@@ -7,6 +7,7 @@ type t = {
   proven : Ref_key.t list;
   hops : int;
   deleted_here : Ref_key.t list;
+  lineage : Adgc_obs.Lineage.hop list;
 }
 
 let span t =
@@ -21,3 +22,11 @@ let pp ppf t =
     t.concluded_at t.concluded_time t.hops
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Ref_key.pp)
     t.proven
+
+let pp_lineage ppf t =
+  match t.lineage with
+  | [] -> Format.fprintf ppf "(no lineage: telemetry was off)"
+  | hops ->
+      Format.fprintf ppf "@[<v2>lineage of %a:" Detection_id.pp t.id;
+      List.iter (fun h -> Format.fprintf ppf "@,%a" Adgc_obs.Lineage.pp_hop h) hops;
+      Format.fprintf ppf "@]"

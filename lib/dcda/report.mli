@@ -9,9 +9,17 @@ type t = {
   proven : Ref_key.t list;  (** the cancelled reference set — the cycle *)
   hops : int;  (** hops of the concluding CDM *)
   deleted_here : Ref_key.t list;  (** scions deleted at the concluding process *)
+  lineage : Adgc_obs.Lineage.hop list;
+      (** full hop chain of the detection (initiation, every CDM
+          send/receive, guards, conclusion), chronological; empty
+          unless the cluster runs with telemetry *)
 }
 
 val span : t -> int
 (** Number of distinct processes the proven references touch. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_lineage : Format.formatter -> t -> unit
+(** The hop chain, one line per hop; prints a placeholder when
+    telemetry was off. *)

@@ -3,7 +3,15 @@ module Rng = Adgc_util.Rng
 module Stats = Adgc_util.Stats
 module Trace = Adgc_util.Trace
 
-type t = { rt : Runtime.t; mutable gc_handles : Scheduler.recurring list }
+module Span = Adgc_obs.Span
+module Lineage = Adgc_obs.Lineage
+
+type t = {
+  rt : Runtime.t;
+  mutable gc_handles : Scheduler.recurring list;
+  mutable teardown_hooks : (unit -> unit) list;
+  mutable torn_down : bool;
+}
 
 (* Payload handling is separate from envelope acceptance: the
    duplicate check below runs once per envelope, so the constituents
@@ -25,8 +33,26 @@ let rec handle_payload rt (msg : Msg.t) (at : Process.t) payload =
   | Msg.New_set_stubs { seqno; targets } ->
       Reflist.handle_new_set rt ~at ~src:msg.Msg.src ~seqno ~targets
   | Msg.Scion_probe -> Reflist.handle_probe rt ~at ~src:msg.Msg.src
-  | Msg.Cdm cdm -> (
-      match at.Process.on_cdm with
+  | Msg.Cdm cdm ->
+      (* One network hop of the detection: spans the transit time and
+         nests under the detection span when lineage knows it. *)
+      if Span.enabled rt.Runtime.obs then begin
+        let parent = Lineage.span rt.Runtime.lineage cdm.Cdm.id in
+        let span =
+          Span.begin_span rt.Runtime.obs ~time:msg.Msg.sent_at ?parent
+            ~proc:(Proc_id.to_int msg.Msg.dst) ~kind:Span.Cdm_hop
+            (Printf.sprintf "cdm %s hop %d" (Detection_id.to_string cdm.Cdm.id) cdm.Cdm.hops)
+        in
+        Span.end_span rt.Runtime.obs
+          ~time:(Scheduler.now rt.Runtime.sched)
+          ~args:
+            [
+              ("from", Proc_id.to_string msg.Msg.src);
+              ("budget", string_of_int cdm.Cdm.budget);
+            ]
+          span
+      end;
+      (match at.Process.on_cdm with
       | Some f -> f cdm
       | None -> Stats.incr rt.Runtime.stats "cdm.unhandled")
   | Msg.Cdm_delete { id; scions } -> (
@@ -75,19 +101,26 @@ let restart_proc rt i =
     Runtime.log rt ~topic:"cluster" "%a restarted" Proc_id.pp p.Process.id
   end
 
-let create ?(seed = 42) ?config ?net_config ?(faults = Faults.none) ?trace_capacity ~n () =
+let create ?(seed = 42) ?config ?net_config ?(faults = Faults.none) ?trace_capacity
+    ?(telemetry = false) ?span_capacity ~n () =
   if n <= 0 then invalid_arg "Cluster.create: need at least one process";
   let config = match config with Some c -> c | None -> Runtime.default_config () in
   let net_config = match net_config with Some c -> c | None -> Network.default_config () in
+  if telemetry then net_config.Network.per_link_bytes <- true;
   let rng = Rng.create seed in
   let sched = Scheduler.create () in
   let stats = Stats.create () in
   let trace = Trace.create ?capacity:trace_capacity () in
+  let obs = Span.create ?capacity:span_capacity () in
+  let lineage = Lineage.create () in
+  Span.set_enabled obs telemetry;
+  Lineage.set_enabled lineage telemetry;
   let net = Network.create ~faults ~sched ~rng:(Rng.split rng) ~stats ~config:net_config () in
   let procs =
     Array.init n (fun i -> Process.create ~id:(Proc_id.of_int i) ~rng:(Rng.split rng))
   in
-  let rt = Runtime.create ~sched ~net ~procs ~rng ~stats ~trace ~config in
+  let rt = Runtime.create ~sched ~net ~procs ~rng ~stats ~trace ~obs ~lineage ~config () in
+  rt.Runtime.run_span <- Span.begin_span obs ~time:0 ~kind:Span.Run "run";
   Network.set_deliver net (dispatch rt);
   List.iter
     (function
@@ -96,7 +129,7 @@ let create ?(seed = 42) ?config ?net_config ?(faults = Faults.none) ?trace_capac
           Scheduler.schedule_at sched ~time:at (fun () -> restart_proc rt proc)
       | Faults.Partition _ -> (* the network schedules these *) ())
     faults.Faults.events;
-  { rt; gc_handles = [] }
+  { rt; gc_handles = []; teardown_hooks = []; torn_down = false }
 
 let rt t = t.rt
 
@@ -107,6 +140,10 @@ let net t = t.rt.Runtime.net
 let stats t = t.rt.Runtime.stats
 
 let trace t = t.rt.Runtime.trace
+
+let obs t = t.rt.Runtime.obs
+
+let lineage t = t.rt.Runtime.lineage
 
 let proc t i = t.rt.Runtime.procs.(i)
 
@@ -155,6 +192,25 @@ let stop_gc t =
   t.gc_handles <- []
 
 let gc_running t = t.gc_handles <> []
+
+let at_teardown t hook = t.teardown_hooks <- hook :: t.teardown_hooks
+
+let torn_down t = t.torn_down
+
+let teardown t =
+  if not t.torn_down then begin
+    t.torn_down <- true;
+    stop_gc t;
+    (* Hooks run newest-first (reverse registration order), each at
+       most once: checkers registered by Oracle/Metrics detach here
+       so nothing keeps firing on a dismantled cluster. *)
+    let hooks = t.teardown_hooks in
+    t.teardown_hooks <- [];
+    List.iter (fun hook -> hook ()) hooks;
+    Span.end_span t.rt.Runtime.obs
+      ~time:(Scheduler.now t.rt.Runtime.sched)
+      t.rt.Runtime.run_span
+  end
 
 let crash t i = crash_proc t.rt i
 

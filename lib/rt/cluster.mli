@@ -15,12 +15,16 @@ val create :
   ?net_config:Network.config ->
   ?faults:Faults.plan ->
   ?trace_capacity:int ->
+  ?telemetry:bool ->
+  ?span_capacity:int ->
   n:int ->
   unit ->
   t
 (** [n] processes with ids [P0 .. P(n-1)]. Default seed 42.  The fault
     plan's partition events are armed in the network and its crash /
-    restart events on the scheduler. *)
+    restart events on the scheduler.  [telemetry] (default false)
+    enables the structured span ring and detection lineage; when off,
+    every instrumentation hook is a single branch. *)
 
 val rt : t -> Runtime.t
 
@@ -31,6 +35,10 @@ val net : t -> Network.t
 val stats : t -> Adgc_util.Stats.t
 
 val trace : t -> Adgc_util.Trace.t
+
+val obs : t -> Adgc_obs.Span.t
+
+val lineage : t -> Adgc_obs.Lineage.t
 
 val proc : t -> int -> Process.t
 
@@ -57,6 +65,20 @@ val start_gc : t -> unit
 val stop_gc : t -> unit
 
 val gc_running : t -> bool
+
+(** {1 Teardown} *)
+
+val at_teardown : t -> (unit -> unit) -> unit
+(** Register a hook to run once at {!teardown} (newest first).  The
+    oracle and the metrics sampler register their detach here so
+    windowed checks cannot outlive the run. *)
+
+val teardown : t -> unit
+(** End the run: stop the periodic GC duties, run (and discard) every
+    teardown hook, and close the root [run] span.  Idempotent; the
+    cluster's state remains readable afterwards. *)
+
+val torn_down : t -> bool
 
 (** {1 Failures} *)
 

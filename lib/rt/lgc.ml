@@ -35,11 +35,25 @@ let run rt (p : Process.t) =
       (match rt.Runtime.on_reclaim with Some f -> f p.Process.id oid | None -> ());
       Runtime.log rt ~topic:"lgc" "%a swept %a" Proc_id.pp p.Process.id Oid.pp oid)
     doomed;
-  {
-    live = Heap.size heap;
-    swept = List.length doomed;
-    stubs_live = Stub_table.size p.Process.stubs;
-    stubs_dropped = List.length dropped;
-  }
+  let report =
+    {
+      live = Heap.size heap;
+      swept = List.length doomed;
+      stubs_live = Stub_table.size p.Process.stubs;
+      stubs_dropped = List.length dropped;
+    }
+  in
+  if Adgc_obs.Span.enabled rt.Runtime.obs then
+    ignore
+      (Adgc_obs.Span.event rt.Runtime.obs
+         ~time:(Scheduler.now rt.Runtime.sched)
+         ~parent:rt.Runtime.run_span
+         ~proc:(Proc_id.to_int p.Process.id)
+         ~args:
+           [ ("live", string_of_int report.live); ("swept", string_of_int report.swept) ]
+         ~kind:Adgc_obs.Span.Lgc_sweep
+         (Printf.sprintf "lgc %s" (Proc_id.to_string p.Process.id))
+        : int);
+  report
 
 let collect_all rt = Array.to_list (Array.map (run rt) rt.Runtime.procs)

@@ -99,5 +99,115 @@ let to_sval t =
         ("payload", payload_sval t.payload);
       ] )
 
+(* Decoders.  Like {!Cdm.of_sval}, field order is part of the wire
+   format: a reordered record is malformed, not merely unusual. *)
+
+let oid_of_sval = function
+  | Sval.List [ Sval.Int owner; Sval.Int serial ] when owner >= 0 && serial >= 0 ->
+      Some (Oid.make ~owner:(Proc_id.of_int owner) ~serial)
+  | _ -> None
+
+let ref_of_sval = function
+  | Sval.List [ Sval.Int src; oid ] when src >= 0 ->
+      Option.map (fun target -> Ref_key.make ~src:(Proc_id.of_int src) ~target) (oid_of_sval oid)
+  | _ -> None
+
+let all_of f svals =
+  List.fold_right
+    (fun sv acc ->
+      match (acc, f sv) with Some acc, Some v -> Some (v :: acc) | _ -> None)
+    svals (Some [])
+
+let rec payload_of_sval sval =
+  match sval with
+  | Sval.Record
+      ( "rmi_request",
+        [
+          ("req_id", Sval.Int req_id);
+          ("target", target);
+          ("args", Sval.List args);
+          ("stub_ic", Sval.Int stub_ic);
+        ] ) -> (
+      match (oid_of_sval target, all_of oid_of_sval args) with
+      | Some target, Some args -> Some (Rmi_request { req_id; target; args; stub_ic })
+      | _ -> None)
+  | Sval.Record
+      ("rmi_reply", [ ("req_id", Sval.Int req_id); ("target", target); ("results", Sval.List results) ])
+    -> (
+      match (oid_of_sval target, all_of oid_of_sval results) with
+      | Some target, Some results -> Some (Rmi_reply { req_id; target; results })
+      | _ -> None)
+  | Sval.Record
+      ( "export_notice",
+        [ ("notice_id", Sval.Int notice_id); ("target", target); ("new_holder", Sval.Int holder) ] )
+    when holder >= 0 ->
+      Option.map
+        (fun target ->
+          Export_notice { notice_id; target; new_holder = Proc_id.of_int holder })
+        (oid_of_sval target)
+  | Sval.Record
+      ( "export_ack",
+        [ ("notice_id", Sval.Int notice_id); ("target", target); ("new_holder", Sval.Int holder) ] )
+    when holder >= 0 ->
+      Option.map
+        (fun target -> Export_ack { notice_id; target; new_holder = Proc_id.of_int holder })
+        (oid_of_sval target)
+  | Sval.Record ("new_set_stubs", [ ("seqno", Sval.Int seqno); ("targets", Sval.List entries) ]) ->
+      let entry = function
+        | Sval.List [ oid; Sval.Int ic ] -> Option.map (fun o -> (o, ic)) (oid_of_sval oid)
+        | _ -> None
+      in
+      Option.map
+        (fun entries ->
+          New_set_stubs
+            {
+              seqno;
+              targets = List.fold_left (fun m (o, ic) -> Oid.Map.add o ic m) Oid.Map.empty entries;
+            })
+        (all_of entry entries)
+  | Sval.Record ("scion_probe", []) -> Some Scion_probe
+  | Sval.Record ("cdm", _) -> Option.map (fun cdm -> Cdm cdm) (Cdm.of_sval sval)
+  | Sval.Record
+      ( "cdm_delete",
+        [ ("initiator", Sval.Int initiator); ("seq", Sval.Int seq); ("scions", Sval.List scions) ]
+      )
+    when initiator >= 0 ->
+      Option.map
+        (fun scions ->
+          Cdm_delete
+            { id = Detection_id.make ~initiator:(Proc_id.of_int initiator) ~seq; scions })
+        (all_of ref_of_sval scions)
+  | Sval.Record (("bt_query" | "bt_reply"), _) ->
+      Option.map (fun bt -> Bt bt) (Btmsg.of_sval sval)
+  | Sval.Record (("h_stamp" | "h_report" | "h_threshold"), _) ->
+      Option.map (fun h -> Hughes h) (Hmsg.of_sval sval)
+  | Sval.Record ("batch", [ ("msgs", Sval.List payloads) ]) ->
+      (* Batches are never nested, and a decoded batch must not smuggle
+         one in. *)
+      let constituent sv =
+        match payload_of_sval sv with
+        | Some (Batch _) -> None
+        | (Some _ | None) as r -> r
+      in
+      Option.map (fun payloads -> Batch payloads) (all_of constituent payloads)
+  | _ -> None
+
+let of_sval = function
+  | Sval.Record
+      ( "msg",
+        [
+          ("src", Sval.Int src);
+          ("dst", Sval.Int dst);
+          ("seq", Sval.Int seq);
+          ("sent_at", Sval.Int sent_at);
+          ("payload", payload);
+        ] )
+    when src >= 0 && dst >= 0 ->
+      Option.map
+        (fun payload ->
+          make ~seq ~src:(Proc_id.of_int src) ~dst:(Proc_id.of_int dst) ~sent_at payload)
+        (payload_of_sval payload)
+  | _ -> None
+
 let pp ppf t =
   Format.fprintf ppf "%a->%a@%d %s" Proc_id.pp t.src Proc_id.pp t.dst t.sent_at (kind t.payload)

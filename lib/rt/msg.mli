@@ -87,4 +87,13 @@ val payload_refs : payload -> Oid.t list
 val to_sval : t -> Adgc_serial.Sval.t
 (** Wire representation used for byte accounting. *)
 
+val payload_sval : payload -> Adgc_serial.Sval.t
+
+val payload_of_sval : Adgc_serial.Sval.t -> payload option
+(** Inverse of {!payload_sval}; [None] on any malformed value,
+    including a [Batch] nested inside a [Batch]. *)
+
+val of_sval : Adgc_serial.Sval.t -> t option
+(** Inverse of {!to_sval}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -7,9 +7,17 @@ type config = {
   mutable latency_max : int;
   mutable drop_prob : float;
   mutable account_bytes : bool;
+  mutable per_link_bytes : bool;
 }
 
-let default_config () = { latency_min = 5; latency_max = 25; drop_prob = 0.0; account_bytes = false }
+let default_config () =
+  {
+    latency_min = 5;
+    latency_max = 25;
+    drop_prob = 0.0;
+    account_bytes = false;
+    per_link_bytes = false;
+  }
 
 type t = {
   sched : Scheduler.t;
@@ -82,7 +90,15 @@ let account t (msg : Msg.t) =
   if t.config.account_bytes then begin
     let bytes = String.length (Adgc_serial.Net_codec.encode (Msg.to_sval msg)) in
     Stats.add t.stats "net.bytes" bytes;
-    Stats.add t.stats ("net.bytes." ^ Msg.kind msg.payload) bytes
+    Stats.add t.stats ("net.bytes." ^ Msg.kind msg.payload) bytes;
+    if t.config.per_link_bytes then
+      Stats.add_l t.stats "net.bytes.link"
+        ~labels:
+          [
+            ("src", Proc_id.to_string msg.src);
+            ("dst", Proc_id.to_string msg.dst);
+          ]
+        bytes
   end
 
 (* The link regime for this send: the plan's link while faults are

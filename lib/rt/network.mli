@@ -28,6 +28,10 @@ type config = {
       (** when set, every sent message is actually encoded with the
           compact codec and its size recorded (slower; benches that
           report bytes enable it) *)
+  mutable per_link_bytes : bool;
+      (** additionally record bytes per (src, dst) link under the
+          labelled counter [net.bytes.link{dst,src}]; implied by
+          cluster telemetry, off otherwise *)
 }
 
 val default_config : unit -> config

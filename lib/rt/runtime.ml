@@ -31,6 +31,8 @@ let default_config () =
     dgc_batch_window = 10;
   }
 
+type batch_queue = { mutable queued : Msg.payload list; opened_at : int }
+
 type t = {
   sched : Scheduler.t;
   net : Network.t;
@@ -38,11 +40,14 @@ type t = {
   rng : Adgc_util.Rng.t;
   stats : Adgc_util.Stats.t;
   trace : Adgc_util.Trace.t;
+  obs : Adgc_obs.Span.t;
+  lineage : Adgc_obs.Lineage.t;
+  mutable run_span : int;
   config : config;
   behaviors : (int, behavior) Hashtbl.t;
   pending_calls : (int, pending_call) Hashtbl.t;
   pending_notices : (int, pending_notice) Hashtbl.t;
-  pending_batches : (int * int, Msg.payload list ref) Hashtbl.t;
+  pending_batches : (int * int, batch_queue) Hashtbl.t;
   mutable next_req_id : int;
   mutable next_notice_id : int;
   mutable on_reclaim : (Proc_id.t -> Oid.t -> unit) option;
@@ -60,7 +65,7 @@ and pending_call = {
 
 and pending_notice = { exporter : Proc_id.t; notice_target : Oid.t; new_holder : Proc_id.t }
 
-let create ~sched ~net ~procs ~rng ~stats ~trace ~config =
+let create ~sched ~net ~procs ~rng ~stats ~trace ?obs ?lineage ~config () =
   {
     sched;
     net;
@@ -68,6 +73,9 @@ let create ~sched ~net ~procs ~rng ~stats ~trace ~config =
     rng;
     stats;
     trace;
+    obs = (match obs with Some o -> o | None -> Adgc_obs.Span.create ~capacity:1 ());
+    lineage = (match lineage with Some l -> l | None -> Adgc_obs.Lineage.create ());
+    run_span = Adgc_obs.Span.none;
     config;
     behaviors = Hashtbl.create 32;
     pending_calls = Hashtbl.create 32;
@@ -122,12 +130,22 @@ let flush_batch t ~src ~dst =
   | None -> ()
   | Some q ->
       Hashtbl.remove t.pending_batches key;
-      (match List.rev !q with
+      (match List.rev q.queued with
       | [] -> ()
       | [ payload ] -> send t ~src ~dst payload
       | payloads ->
           Adgc_util.Stats.incr t.stats "net.msg.batch_flushes";
           Adgc_util.Stats.add t.stats "net.msg.batched" (List.length payloads);
+          if Adgc_obs.Span.enabled t.obs then begin
+            let span =
+              Adgc_obs.Span.begin_span t.obs ~time:q.opened_at ?parent:None
+                ~proc:(Proc_id.to_int src) ~kind:Adgc_obs.Span.Batch_flush
+                (Printf.sprintf "batch %s->%s" (Proc_id.to_string src) (Proc_id.to_string dst))
+            in
+            Adgc_obs.Span.end_span t.obs ~time:(now t)
+              ~args:[ ("payloads", string_of_int (List.length payloads)) ]
+              span
+          end;
           send t ~src ~dst (Msg.Batch payloads))
 
 let flush_all_batches t =
@@ -141,9 +159,9 @@ let send_dgc t ~src ~dst payload =
   else begin
     let key = (Proc_id.to_int src, Proc_id.to_int dst) in
     match Hashtbl.find_opt t.pending_batches key with
-    | Some q -> q := payload :: !q
+    | Some q -> q.queued <- payload :: q.queued
     | None ->
-        Hashtbl.add t.pending_batches key (ref [ payload ]);
+        Hashtbl.add t.pending_batches key { queued = [ payload ]; opened_at = now t };
         Scheduler.schedule_after t.sched ~delay:t.config.dgc_batch_window (fun () ->
             flush_batch t ~src ~dst)
   end

@@ -56,6 +56,10 @@ type config = {
 
 val default_config : unit -> config
 
+type batch_queue = { mutable queued : Msg.payload list; opened_at : int }
+(** Payloads (newest first) plus the tick the queue opened, so the
+    flush span covers the whole coalescing window. *)
+
 type t = {
   sched : Scheduler.t;
   net : Network.t;
@@ -63,14 +67,20 @@ type t = {
   rng : Adgc_util.Rng.t;
   stats : Adgc_util.Stats.t;
   trace : Adgc_util.Trace.t;
+  obs : Adgc_obs.Span.t;
+      (** structured span ring; disabled (and then zero-cost) unless
+          the cluster was created with [~telemetry:true] *)
+  lineage : Adgc_obs.Lineage.t;
+      (** per-detection hop provenance; same enablement as [obs] *)
+  mutable run_span : int;  (** root span every other span nests under *)
   config : config;
   behaviors : (int, behavior) Hashtbl.t;  (** pending RMI bodies, by request id *)
   pending_calls : (int, pending_call) Hashtbl.t;  (** caller-side in-flight RMIs *)
   pending_notices : (int, pending_notice) Hashtbl.t;
       (** third-party export handshakes awaiting acknowledgement *)
-  pending_batches : (int * int, Msg.payload list ref) Hashtbl.t;
-      (** DGC payloads (newest first) queued per (src, dst) awaiting
-          their batch flush *)
+  pending_batches : (int * int, batch_queue) Hashtbl.t;
+      (** DGC payloads queued per (src, dst) awaiting their batch
+          flush *)
   mutable next_req_id : int;
   mutable next_notice_id : int;
   mutable on_reclaim : (Proc_id.t -> Oid.t -> unit) option;
@@ -102,8 +112,14 @@ val create :
   rng:Adgc_util.Rng.t ->
   stats:Adgc_util.Stats.t ->
   trace:Adgc_util.Trace.t ->
+  ?obs:Adgc_obs.Span.t ->
+  ?lineage:Adgc_obs.Lineage.t ->
   config:config ->
+  unit ->
   t
+(** When [obs]/[lineage] are omitted, disabled instances are used (a
+    1-slot span ring), so instrumented code never needs a null
+    check. *)
 
 val proc : t -> Proc_id.t -> Process.t
 

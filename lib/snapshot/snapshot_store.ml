@@ -45,6 +45,16 @@ let take t (p : Process.t) =
   let encoded = Adgc_serial.Codec.encode t.codec (Summary.to_sval summary) in
   Stats.incr t.rt.Runtime.stats "snapshot.taken";
   Stats.add t.rt.Runtime.stats "snapshot.bytes" (String.length encoded);
+  if Adgc_obs.Span.enabled t.rt.Runtime.obs then begin
+    Stats.observe t.rt.Runtime.stats "snapshot.size_bytes" (float_of_int (String.length encoded));
+    ignore
+      (Adgc_obs.Span.event t.rt.Runtime.obs ~time:now ~parent:t.rt.Runtime.run_span
+         ~proc:(Proc_id.to_int p.Process.id)
+         ~args:[ ("bytes", string_of_int (String.length encoded)) ]
+         ~kind:Adgc_obs.Span.Snapshot
+         (Printf.sprintf "snapshot %s" (Proc_id.to_string p.Process.id))
+        : int)
+  end;
   (* Publish what survives the round-trip, not the in-memory value. *)
   let published =
     match Summary.of_sval (Adgc_serial.Codec.decode t.codec encoded) with

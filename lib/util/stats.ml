@@ -1,11 +1,20 @@
 type series = { mutable values : float list; mutable n : int }
 
+type histogram = {
+  buckets : float array;  (* upper bounds, strictly increasing *)
+  counts : int array;  (* length buckets + 1; last is overflow *)
+  mutable sum : float;
+  mutable samples : int;
+}
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   series : (string, series) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 16 }
+let create () =
+  { counters = Hashtbl.create 32; series = Hashtbl.create 16; histograms = Hashtbl.create 8 }
 
 let counter_ref t name =
   match Hashtbl.find_opt t.counters name with
@@ -26,6 +35,34 @@ let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None
 let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Labelled counters live in the same table under a canonical
+   rendered key, name{k1="v1",k2="v2"} with labels sorted by key, so
+   they merge, clear and dump through the existing machinery. *)
+let labelled_key name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+      let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf name;
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf v;
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}';
+      Buffer.contents buf
+
+let incr_l t name ~labels = incr t (labelled_key name labels)
+
+let add_l t name ~labels v = add t (labelled_key name labels) v
+
+let get_l t name ~labels = get t (labelled_key name labels)
 
 let series_ref t name =
   match Hashtbl.find_opt t.series name with
@@ -70,23 +107,118 @@ let percentile t name p =
       let idx = Int.max 0 (Int.min (n - 1) (rank - 1)) in
       arr.(idx)
 
+(* Doubling buckets from 1: enough dynamic range for latencies in
+   ticks, chain lengths and byte sizes without per-metric tuning. *)
+let default_buckets =
+  Array.init 20 (fun i -> Float.of_int (1 lsl i))
+
+let histogram t name ~buckets =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        { buckets; counts = Array.make (Array.length buckets + 1) 0; sum = 0.0; samples = 0 }
+      in
+      Hashtbl.add t.histograms name h;
+      h
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None -> histogram t name ~buckets:default_buckets
+  in
+  let n = Array.length h.buckets in
+  let i = ref 0 in
+  while !i < n && v > h.buckets.(!i) do
+    Stdlib.incr i
+  done;
+  h.counts.(!i) <- h.counts.(!i) + 1;
+  h.sum <- h.sum +. v;
+  h.samples <- h.samples + 1
+
+let histogram_opt t name = Hashtbl.find_opt t.histograms name
+
+let histograms t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.histograms []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let merge_into ~src ~dst =
   Hashtbl.iter (fun k r -> add dst k !r) src.counters;
   Hashtbl.iter
     (fun k s -> List.iter (fun v -> record dst k v) (List.rev s.values))
-    src.series
+    src.series;
+  Hashtbl.iter
+    (fun k h ->
+      let d = histogram dst k ~buckets:(Array.copy h.buckets) in
+      if Array.length d.counts = Array.length h.counts then begin
+        Array.iteri (fun i c -> d.counts.(i) <- d.counts.(i) + c) h.counts;
+        d.sum <- d.sum +. h.sum;
+        d.samples <- d.samples + h.samples
+      end
+      else
+        (* Conflicting bucket layouts: fold the source in sample-blind
+           via the overflow-safe observe path on bucket midpoints is
+           not meaningful, so just accumulate totals. *)
+        begin
+          d.sum <- d.sum +. h.sum;
+          d.samples <- d.samples + h.samples
+        end)
+    src.histograms
 
 let clear t =
   Hashtbl.reset t.counters;
-  Hashtbl.reset t.series
+  Hashtbl.reset t.series;
+  Hashtbl.reset t.histograms
+
+let series_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.series [] |> List.sort String.compare
+
+let to_json t =
+  let counters_json = Json.obj_sorted (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) in
+  let series_json =
+    Json.obj_sorted
+      (List.map
+         (fun name ->
+           let n = count t name in
+           let lo, hi = match min_max t name with Some (lo, hi) -> (lo, hi) | None -> (0.0, 0.0) in
+           ( name,
+             Json.Obj
+               [
+                 ("count", Json.Int n);
+                 ("total", Json.of_float (total t name));
+                 ("mean", Json.of_float (mean t name));
+                 ("min", Json.of_float lo);
+                 ("max", Json.of_float hi);
+                 ("p50", Json.of_float (percentile t name 50.0));
+                 ("p99", Json.of_float (percentile t name 99.0));
+               ] ))
+         (series_names t))
+  in
+  let histograms_json =
+    Json.obj_sorted
+      (List.map
+         (fun (name, h) ->
+           ( name,
+             Json.Obj
+               [
+                 ("buckets", Json.Arr (Array.to_list (Array.map Json.of_float h.buckets)));
+                 ("counts", Json.Arr (Array.to_list (Array.map (fun c -> Json.Int c) h.counts)));
+                 ("sum", Json.of_float h.sum);
+                 ("samples", Json.Int h.samples);
+               ] ))
+         (histograms t))
+  in
+  Json.Obj
+    [ ("counters", counters_json); ("histograms", histograms_json); ("series", series_json) ]
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%-40s %d@." k v) (counters t);
-  let names =
-    Hashtbl.fold (fun k _ acc -> k :: acc) t.series []
-    |> List.sort String.compare
-  in
   let pp_series name =
     Format.fprintf ppf "%-40s n=%d mean=%.2f@." name (count t name) (mean t name)
   in
-  List.iter pp_series names
+  List.iter pp_series (series_names t);
+  List.iter
+    (fun (name, h) ->
+      Format.fprintf ppf "%-40s n=%d sum=%.0f@." name h.samples h.sum)
+    (histograms t)

@@ -22,6 +22,20 @@ val get : t -> string -> int
 val counters : t -> (string * int) list
 (** Sorted by name. *)
 
+(** {1 Labelled counters}
+
+    Stored in the same table under the canonical rendered key
+    [name{k1="v1",k2="v2"}] (labels sorted by key), so they merge,
+    clear and dump exactly like plain counters. *)
+
+val labelled_key : string -> (string * string) list -> string
+
+val incr_l : t -> string -> labels:(string * string) list -> unit
+
+val add_l : t -> string -> labels:(string * string) list -> int -> unit
+
+val get_l : t -> string -> labels:(string * string) list -> int
+
 (** {1 Sample series} *)
 
 val record : t -> string -> float -> unit
@@ -42,6 +56,35 @@ val percentile : t -> string -> float -> float
 
 val total : t -> string -> float
 
+(** {1 Histograms}
+
+    Fixed-bucket histograms: O(buckets) memory however many samples
+    are observed, unlike series which retain every value. *)
+
+type histogram = private {
+  buckets : float array;  (** upper bounds, strictly increasing *)
+  counts : int array;  (** length [buckets + 1]; last is overflow *)
+  mutable sum : float;
+  mutable samples : int;
+}
+
+val default_buckets : float array
+(** Powers of two from 1 to 2{^19}. *)
+
+val histogram : t -> string -> buckets:float array -> histogram
+(** Register (or fetch) a histogram with the given upper bounds.  The
+    first registration wins; later [buckets] are ignored. *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample, auto-registering with {!default_buckets} when
+    the name is unknown.  A value [v] lands in the first bucket with
+    [v <= bound], or in the overflow slot. *)
+
+val histogram_opt : t -> string -> histogram option
+
+val histograms : t -> (string * histogram) list
+(** Sorted by name. *)
+
 (** {1 Reporting} *)
 
 val merge_into : src:t -> dst:t -> unit
@@ -50,3 +93,9 @@ val merge_into : src:t -> dst:t -> unit
 val clear : t -> unit
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** Deterministic document: [{counters; histograms; series}] with all
+    keys sorted, suitable for byte-stable comparison across runs.
+    Series are summarised (count/total/mean/min/max/p50/p99), not
+    dumped sample by sample. *)

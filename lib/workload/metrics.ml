@@ -13,22 +13,28 @@ let pp_sample ppf s =
 
 type sampler = { mutable acc : sample list; mutable handle : Scheduler.recurring option }
 
-let sample_every cluster ~period =
-  let t = { acc = []; handle = None } in
-  let handle =
-    Scheduler.every (Cluster.sched cluster) ~period (fun () -> t.acc <- sample cluster :: t.acc)
-  in
-  t.handle <- Some handle;
-  t
-
-let samples t = List.rev t.acc
-
 let stop_sampling t =
   match t.handle with
   | Some h ->
       Scheduler.cancel h;
       t.handle <- None
   | None -> ()
+
+let sampling t = t.handle <> None
+
+let sample_every cluster ~period =
+  let t = { acc = []; handle = None } in
+  let handle =
+    Scheduler.every (Cluster.sched cluster) ~period (fun () -> t.acc <- sample cluster :: t.acc)
+  in
+  t.handle <- Some handle;
+  (* Auto-detach at run end: the omniscient sample walks every heap,
+     and a sampler leaked past teardown keeps doing that for the rest
+     of a long bench process. *)
+  Cluster.at_teardown cluster (fun () -> stop_sampling t);
+  t
+
+let samples t = List.rev t.acc
 
 type safety_checker = { mutable violations : (Proc_id.t * Oid.t) list }
 

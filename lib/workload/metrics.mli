@@ -13,12 +13,17 @@ val pp_sample : Format.formatter -> sample -> unit
 type sampler
 
 val sample_every : Adgc_rt.Cluster.t -> period:int -> sampler
-(** Record a sample each [period] ticks (from the next period on). *)
+(** Record a sample each [period] ticks (from the next period on).
+    Registered with {!Adgc_rt.Cluster.at_teardown}, so tearing the
+    cluster down stops the sampler automatically. *)
 
 val samples : sampler -> sample list
 (** Oldest first. *)
 
 val stop_sampling : sampler -> unit
+(** Idempotent. *)
+
+val sampling : sampler -> bool
 
 (** {1 Safety checking} *)
 

@@ -666,6 +666,99 @@ let test_duplicate_cdm_delete_idempotent () =
   settle h;
   check Alcotest.int "still deleted exactly once" 1 (stat h "dcda.scions_deleted.broadcast")
 
+(* ------------------------------------------------------------------ *)
+(* Detection lineage (telemetry on) *)
+
+module Lineage = Adgc_obs.Lineage
+
+let mk_telemetry ?(n = 6) ?(policy = Policy.aggressive) () =
+  let cluster = Cluster.create ~telemetry:true ~n () in
+  let rt = Cluster.rt cluster in
+  let detectors = Array.map (fun p -> Detector.attach rt p ~policy) rt.Runtime.procs in
+  { cluster; detectors }
+
+(* A proven report's lineage must read as a complete story: initiated,
+   at least one send and one receive, chronological, concluded. *)
+let assert_full_chain (r : Report.t) =
+  match r.Report.lineage with
+  | [] -> Alcotest.fail "report has no lineage"
+  | first :: _ as hops ->
+      (match first with
+      | Lineage.Initiated _ -> ()
+      | h -> Alcotest.failf "chain starts with %s" (Format.asprintf "%a" Lineage.pp_hop h));
+      (match List.nth hops (List.length hops - 1) with
+      | Lineage.Concluded { proven; _ } -> check Alcotest.bool "concluded proven" true proven
+      | h -> Alcotest.failf "chain ends with %s" (Format.asprintf "%a" Lineage.pp_hop h));
+      check Alcotest.bool "has a send" true
+        (List.exists (function Lineage.Sent _ -> true | _ -> false) hops);
+      check Alcotest.bool "has a receive" true
+        (List.exists (function Lineage.Received _ -> true | _ -> false) hops);
+      let times = List.map Lineage.hop_time hops in
+      check Alcotest.bool "chronological" true (List.sort Int.compare times = times)
+
+let test_lineage_fig3_full_chain () =
+  let h = mk_telemetry ~n:4 () in
+  let built = Topology.fig3 h.cluster in
+  Mutator.remove_root h.cluster (Topology.obj built "A");
+  snapshot_all h;
+  let key_f = Topology.scion_key built ~src:0 "F" in
+  check Alcotest.bool "initiated" true (Detector.initiate h.detectors.(1) key_f);
+  settle h;
+  match all_reports h with
+  | [ r ] ->
+      assert_full_chain r;
+      let received =
+        List.length
+          (List.filter (function Lineage.Received _ -> true | _ -> false) r.Report.lineage)
+      in
+      check Alcotest.int "one Received per CDM hop" r.Report.hops received
+  | rs -> Alcotest.failf "expected one report, got %d" (List.length rs)
+
+let test_lineage_every_concurrent_report () =
+  let h = mk_telemetry ~n:6 () in
+  let r1 = Topology.ring h.cluster ~procs:[ 0; 1; 2 ] in
+  let r2 = Topology.ring h.cluster ~procs:[ 3; 4; 5 ] in
+  snapshot_all h;
+  ignore (Detector.initiate h.detectors.(0) (Topology.scion_key r1 ~src:2 "n0_0") : bool);
+  ignore (Detector.initiate h.detectors.(3) (Topology.scion_key r2 ~src:5 "n3_0") : bool);
+  settle h;
+  let reports = all_reports h in
+  check Alcotest.int "both concluded" 2 (List.length reports);
+  List.iter assert_full_chain reports;
+  (* The two chains are keyed separately in the registry. *)
+  check Alcotest.int "two detections in the registry" 2
+    (List.length (Lineage.detections (Cluster.lineage h.cluster)))
+
+let test_lineage_guard_recorded () =
+  (* A rooted (live) cycle: the detection must die on a guard, and the
+     registry must say which one even though no report exists. *)
+  let h = mk_telemetry ~n:4 () in
+  let built = Topology.fig3 h.cluster in
+  snapshot_all h;
+  let key_f = Topology.scion_key built ~src:0 "F" in
+  check Alcotest.bool "initiated" true (Detector.initiate h.detectors.(1) key_f);
+  settle h;
+  check Alcotest.int "no report for a live cycle" 0 (List.length (all_reports h));
+  let lineage = Cluster.lineage h.cluster in
+  match Lineage.detections lineage with
+  | [ id ] ->
+      check Alcotest.bool "guard recorded" true
+        (List.exists
+           (function Lineage.Guard _ -> true | _ -> false)
+           (Lineage.hops lineage id))
+  | ids -> Alcotest.failf "expected one detection, got %d" (List.length ids)
+
+let test_lineage_off_is_empty () =
+  let h = mk ~n:4 () in
+  let built = Topology.fig3 h.cluster in
+  Mutator.remove_root h.cluster (Topology.obj built "A");
+  snapshot_all h;
+  ignore (Detector.initiate h.detectors.(1) (Topology.scion_key built ~src:0 "F") : bool);
+  settle h;
+  match all_reports h with
+  | [ r ] -> check Alcotest.int "no lineage without telemetry" 0 (List.length r.Report.lineage)
+  | _ -> Alcotest.fail "expected one report"
+
 let suite =
   ( "detector",
     [
@@ -713,4 +806,9 @@ let suite =
       Alcotest.test_case "duplicate: CDM replay ignored" `Quick test_duplicate_cdm_ignored;
       Alcotest.test_case "duplicate: cycle deletion idempotent" `Quick
         test_duplicate_cdm_delete_idempotent;
+      Alcotest.test_case "lineage: fig3 full chain" `Quick test_lineage_fig3_full_chain;
+      Alcotest.test_case "lineage: every concurrent report" `Quick
+        test_lineage_every_concurrent_report;
+      Alcotest.test_case "lineage: guard on a live cycle" `Quick test_lineage_guard_recorded;
+      Alcotest.test_case "lineage: empty when telemetry off" `Quick test_lineage_off_is_empty;
     ] )

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "adgc"
     [
       Test_util.suite;
+      Test_obs.suite;
       Test_serial.suite;
       Test_algebra.suite;
       Test_rt_core.suite;
@@ -19,4 +20,6 @@ let () =
       Test_matrix.suite;
       Test_faults_matrix.suite;
       Test_sim.suite;
+      Test_replay.suite;
+      Test_schema.suite;
     ]

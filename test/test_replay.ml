@@ -1,0 +1,73 @@
+(* Deterministic replay: the same seed and scenario must reproduce the
+   exact same run — byte-identical metrics JSON and an identical span
+   digest — across detectors and fault profiles.  This pins down both
+   the simulator's determinism and the exporters' stability (sorted
+   keys, canonical float rendering, no wall-clock leakage). *)
+
+module Sim = Adgc.Sim
+module Config = Adgc.Config
+module Faults = Adgc_rt.Faults
+module Export = Adgc_obs.Export
+module Json = Adgc_util.Json
+open Adgc_workload
+
+let check = Alcotest.check
+
+let run_once ~seed ~detector ~faulty =
+  let n_procs = 6 in
+  let config = Config.quick ~seed ~n_procs () in
+  let faults =
+    if faulty then Faults.plan_of_profile ~n_procs Faults.Loss_burst else Faults.none
+  in
+  let config = { config with Config.detector; faults; telemetry = true } in
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+  let _garbage = Topology.ring cluster ~procs:[ 0; 1; 2 ] in
+  let _live = Topology.rooted_ring cluster ~procs:[ 3; 4 ] in
+  let churn = Churn.create ~cluster ~rng:(Adgc_util.Rng.create ((seed * 7) + 1)) () in
+  Churn.run churn ~steps:200 ~every:23;
+  Sim.start sim;
+  Sim.run_for sim 20_000;
+  Sim.teardown sim;
+  let metrics = Json.to_string (Export.metrics_document (Sim.stats sim)) in
+  let digest = Export.span_digest (Sim.obs sim) in
+  (metrics, digest)
+
+let detector_name = function
+  | Config.Dcda -> "dcda"
+  | Config.Backtrack -> "backtrack"
+  | Config.Hughes_gc | Config.No_detector -> "other"
+
+let test_replay_identical () =
+  List.iter
+    (fun detector ->
+      List.iter
+        (fun faulty ->
+          List.iter
+            (fun seed ->
+              let label =
+                Printf.sprintf "%s/%s/seed=%d" (detector_name detector)
+                  (if faulty then "bursty" else "no-faults")
+                  seed
+              in
+              let m1, d1 = run_once ~seed ~detector ~faulty in
+              let m2, d2 = run_once ~seed ~detector ~faulty in
+              check Alcotest.string (label ^ ": metrics JSON") m1 m2;
+              check Alcotest.string (label ^ ": span digest") d1 d2)
+            [ 3; 17; 42 ])
+        [ false; true ])
+    [ Config.Dcda; Config.Backtrack ]
+
+let test_seeds_actually_differ () =
+  (* Guard against a trivially-constant export: different seeds must
+     produce different runs. *)
+  let m1, _ = run_once ~seed:3 ~detector:Config.Dcda ~faulty:false in
+  let m2, _ = run_once ~seed:17 ~detector:Config.Dcda ~faulty:false in
+  check Alcotest.bool "seeds produce distinct metrics" false (String.equal m1 m2)
+
+let suite =
+  ( "replay",
+    [
+      Alcotest.test_case "same seed, same bytes (12 scenarios)" `Quick test_replay_identical;
+      Alcotest.test_case "different seeds, different runs" `Quick test_seeds_actually_differ;
+    ] )

@@ -204,6 +204,221 @@ let test_size_nodes () =
   check Alcotest.int "list" 3 (Sval.size_nodes (Sval.List [ Sval.Int 1; Sval.Int 2 ]));
   check Alcotest.int "record" 2 (Sval.size_nodes (Sval.Record ("r", [ ("a", Sval.Unit) ])))
 
+(* ------------------------------------------------------------------ *)
+(* Message payloads: every wire payload must survive the full
+   encode -> bytes -> decode -> payload_of_sval pipeline through both
+   codecs, and damaged bytes must fail with [Wire.Malformed], never
+   with anything else.  Payloads are compared through their canonical
+   sval (maps re-sort on encode, so [=] on the OCaml values would be
+   too strict about tree shape). *)
+
+module Msg = Adgc_rt.Msg
+open Adgc_algebra
+
+let gen_proc = QCheck2.Gen.(map Proc_id.of_int (int_bound 7))
+
+let gen_oid =
+  QCheck2.Gen.(
+    map2 (fun owner serial -> Oid.make ~owner ~serial) gen_proc (int_bound 100))
+
+let gen_ref = QCheck2.Gen.(map2 (fun src target -> Ref_key.make ~src ~target) gen_proc gen_oid)
+
+let gen_oids = QCheck2.Gen.(list_size (int_bound 4) gen_oid)
+
+let gen_detection_id =
+  QCheck2.Gen.(map2 (fun initiator seq -> Detection_id.make ~initiator ~seq) gen_proc (int_bound 100))
+
+let gen_algebra =
+  QCheck2.Gen.(
+    map
+      (List.fold_left
+         (fun alg (is_src, key, ic) ->
+           match Algebra.add alg (if is_src then Algebra.Source else Algebra.Target) key ~ic with
+           | Algebra.Added alg -> alg
+           | Algebra.Ic_conflict _ -> alg)
+         Algebra.empty)
+      (list_size (int_bound 6) (triple bool gen_ref (int_bound 5))))
+
+let gen_cdm =
+  QCheck2.Gen.(
+    map2
+      (fun (id, algebra, frontier) (hops, budget) -> Cdm.make ~id ~algebra ~frontier ~hops ~budget)
+      (triple gen_detection_id gen_algebra gen_ref)
+      (pair (int_bound 20) (int_bound 64)))
+
+let gen_bt =
+  QCheck2.Gen.(
+    let trace = map2 (fun initiator seq -> { Btmsg.initiator; seq }) gen_proc (int_bound 50) in
+    oneof
+      [
+        map2
+          (fun (trace, subject) visited -> Btmsg.Query { trace; subject; visited })
+          (pair trace gen_ref)
+          (list_size (int_bound 4) gen_ref);
+        map2
+          (fun (trace, subject) rooted ->
+            Btmsg.Reply
+              { trace; subject; verdict = (if rooted then Btmsg.Rooted else Btmsg.Cycle_back) })
+          (pair trace gen_ref)
+          bool;
+      ])
+
+let gen_hughes =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun stamps -> Hmsg.Stamp stamps) (list_size (int_bound 4) (pair gen_oid (int_bound 100)));
+        map (fun round_time -> Hmsg.Report { round_time }) (int_bound 10_000);
+        map (fun value -> Hmsg.Threshold { value }) (int_bound 10_000);
+      ])
+
+let gen_flat_payload =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2
+          (fun (req_id, target) (args, stub_ic) -> Msg.Rmi_request { req_id; target; args; stub_ic })
+          (pair (int_bound 1000) gen_oid)
+          (pair gen_oids (int_bound 9));
+        map2
+          (fun (req_id, target) results -> Msg.Rmi_reply { req_id; target; results })
+          (pair (int_bound 1000) gen_oid)
+          gen_oids;
+        map2
+          (fun (notice_id, target) new_holder -> Msg.Export_notice { notice_id; target; new_holder })
+          (pair (int_bound 1000) gen_oid)
+          gen_proc;
+        map2
+          (fun (notice_id, target) new_holder -> Msg.Export_ack { notice_id; target; new_holder })
+          (pair (int_bound 1000) gen_oid)
+          gen_proc;
+        map2
+          (fun seqno entries ->
+            Msg.New_set_stubs
+              {
+                seqno;
+                targets =
+                  List.fold_left (fun m (o, ic) -> Oid.Map.add o ic m) Oid.Map.empty entries;
+              })
+          (int_bound 1000)
+          (list_size (int_bound 5) (pair gen_oid (int_bound 9)));
+        return Msg.Scion_probe;
+        map (fun cdm -> Msg.Cdm cdm) gen_cdm;
+        map2
+          (fun id scions -> Msg.Cdm_delete { id; scions })
+          gen_detection_id
+          (list_size (int_bound 4) gen_ref);
+        map (fun bt -> Msg.Bt bt) gen_bt;
+        map (fun h -> Msg.Hughes h) gen_hughes;
+      ])
+
+let gen_payload =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, gen_flat_payload);
+        (1, map (fun l -> Msg.Batch l) (list_size (int_bound 4) gen_flat_payload));
+      ])
+
+let gen_msg =
+  QCheck2.Gen.(
+    map2
+      (fun (src, dst, seq) (sent_at, payload) -> Msg.make ~seq ~src ~dst ~sent_at payload)
+      (triple gen_proc gen_proc (int_range (-1) 1000))
+      (pair (int_bound 100_000) gen_payload))
+
+let payload_equal a b = Sval.equal (Msg.payload_sval a) (Msg.payload_sval b)
+
+let qcheck_payload_roundtrip codec name =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:300 gen_payload (fun p ->
+         let bytes = Codec.encode codec (Msg.payload_sval p) in
+         match Msg.payload_of_sval (Codec.decode codec bytes) with
+         | Some p' -> payload_equal p p'
+         | None -> false))
+
+let qcheck_envelope_roundtrip codec name =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:200 gen_msg (fun m ->
+         let bytes = Codec.encode codec (Msg.to_sval m) in
+         match Msg.of_sval (Codec.decode codec bytes) with
+         | Some m' ->
+             m'.Msg.src = m.Msg.src && m'.Msg.dst = m.Msg.dst && m'.Msg.seq = m.Msg.seq
+             && m'.Msg.sent_at = m.Msg.sent_at
+             && payload_equal m.Msg.payload m'.Msg.payload
+         | None -> false))
+
+(* Damaged bytes: decoding may fail (with Malformed) or still yield a
+   structurally valid sval that [payload_of_sval] then accepts or
+   rejects — but nothing in the pipeline may raise anything else. *)
+let survives_damage codec bytes =
+  match Codec.decode codec bytes with
+  | sval -> ignore (Msg.payload_of_sval sval : Msg.payload option)
+  | exception Wire.Malformed _ -> ()
+
+let qcheck_truncation codec name =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:100
+       QCheck2.Gen.(pair gen_payload (int_bound 1000))
+       (fun (p, cut) ->
+         let bytes = Codec.encode codec (Msg.payload_sval p) in
+         let cut = cut mod max 1 (String.length bytes) in
+         survives_damage codec (String.sub bytes 0 cut);
+         true))
+
+let qcheck_corruption codec name =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count:100
+       QCheck2.Gen.(triple gen_payload (int_bound 10_000) (int_range 1 255))
+       (fun (p, pos, delta) ->
+         let bytes = Codec.encode codec (Msg.payload_sval p) in
+         let pos = pos mod String.length bytes in
+         let corrupted = Bytes.of_string bytes in
+         Bytes.set corrupted pos (Char.chr ((Char.code bytes.[pos] + delta) land 0xff));
+         survives_damage codec (Bytes.to_string corrupted);
+         true))
+
+let test_payload_decoder_rejects () =
+  let none what sval =
+    check Alcotest.bool what false (Option.is_some (Msg.payload_of_sval sval))
+  in
+  (* Field order is part of the format. *)
+  none "reordered fields"
+    (Sval.Record ("scion_probe", [ ("extra", Sval.Unit) ]));
+  none "reordered export_ack"
+    (Sval.Record
+       ( "export_ack",
+         [
+           ("target", Sval.List [ Sval.Int 0; Sval.Int 0 ]);
+           ("notice_id", Sval.Int 1);
+           ("new_holder", Sval.Int 1);
+         ] ));
+  none "negative proc id"
+    (Sval.Record
+       ( "export_ack",
+         [
+           ("notice_id", Sval.Int 1);
+           ("target", Sval.List [ Sval.Int 0; Sval.Int 0 ]);
+           ("new_holder", Sval.Int (-1));
+         ] ));
+  none "unknown record" (Sval.Record ("mystery", []));
+  none "not a record" (Sval.Int 3);
+  (* Batches never nest. *)
+  none "nested batch"
+    (Sval.Record
+       ( "batch",
+         [
+           ( "msgs",
+             Sval.List [ Sval.Record ("batch", [ ("msgs", Sval.List []) ]) ] );
+         ] ));
+  (* A valid batch of two payloads decodes. *)
+  let batch =
+    Msg.Batch [ Msg.Scion_probe; Msg.Rmi_reply { req_id = 3; target = Oid.make ~owner:(Proc_id.of_int 1) ~serial:2; results = [] } ]
+  in
+  match Msg.payload_of_sval (Msg.payload_sval batch) with
+  | Some p -> check Alcotest.bool "batch roundtrip" true (payload_equal batch p)
+  | None -> Alcotest.fail "valid batch rejected"
+
 let suite =
   ( "serial",
     [
@@ -226,4 +441,13 @@ let suite =
       Alcotest.test_case "sval: size_nodes" `Quick test_size_nodes;
       qcheck_roundtrip rotor "qcheck rotor roundtrip";
       qcheck_roundtrip net "qcheck net roundtrip";
+      Alcotest.test_case "msg: decoder rejects malformed payloads" `Quick
+        test_payload_decoder_rejects;
+      qcheck_payload_roundtrip net "qcheck msg payload roundtrip (net)";
+      qcheck_payload_roundtrip rotor "qcheck msg payload roundtrip (rotor)";
+      qcheck_envelope_roundtrip net "qcheck msg envelope roundtrip (net)";
+      qcheck_truncation net "qcheck truncated payload only Malformed (net)";
+      qcheck_truncation rotor "qcheck truncated payload only Malformed (rotor)";
+      qcheck_corruption net "qcheck corrupted payload only Malformed (net)";
+      qcheck_corruption rotor "qcheck corrupted payload only Malformed (rotor)";
     ] )

@@ -103,6 +103,7 @@ let test_report_span () =
       proven = [ key 0 (oid 1 0); key 1 (oid 2 0); key 2 (oid 0 0) ];
       hops = 3;
       deleted_here = [];
+      lineage = [];
     }
   in
   check Alcotest.int "span 3" 3 (Adgc_dcda.Report.span report)
@@ -113,6 +114,37 @@ let test_inspect_summary_line () =
   let line = Inspect.summary_line cluster in
   check Alcotest.bool "mentions objects" true (Astring_contains.contains line "objects=2");
   check Alcotest.bool "mentions garbage" true (Astring_contains.contains line "garbage=0")
+
+let test_teardown_detaches_observers () =
+  let config = { (Config.quick ~n_procs:3 ()) with Config.telemetry = true } in
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+  let oracle = Adgc_check.Oracle.install cluster in
+  let sampler = Metrics.sample_every cluster ~period:500 in
+  let _r = Topology.ring cluster ~procs:[ 0; 1; 2 ] in
+  Sim.start sim;
+  Sim.run_for sim 3_000;
+  check Alcotest.bool "sampling while running" true (Metrics.sampling sampler);
+  check Alcotest.bool "oracle running" false (Adgc_check.Oracle.stopped oracle);
+  Sim.teardown sim;
+  check Alcotest.bool "cluster torn down" true (Cluster.torn_down cluster);
+  check Alcotest.bool "oracle auto-stopped" true (Adgc_check.Oracle.stopped oracle);
+  check Alcotest.bool "sampler auto-detached" false (Metrics.sampling sampler);
+  (* Driving the scheduler past teardown must not fire detached
+     observers (this used to raise from the sampler's timer). *)
+  let n_samples = List.length (Metrics.samples sampler) in
+  Sim.run_for sim 5_000;
+  check Alcotest.int "no further samples" n_samples (List.length (Metrics.samples sampler));
+  (* All of these are idempotent, in any order. *)
+  Sim.teardown sim;
+  Adgc_check.Oracle.stop oracle;
+  Metrics.stop_sampling sampler;
+  check Alcotest.bool "still torn down" true (Cluster.torn_down cluster);
+  (* Teardown closed the run span (exactly one, exactly once). *)
+  let spans = Adgc_obs.Span.spans (Sim.obs sim) in
+  match List.filter (fun s -> s.Adgc_obs.Span.kind = Adgc_obs.Span.Run) spans with
+  | [ r ] -> check Alcotest.bool "run span closed" true (r.Adgc_obs.Span.end_time <> None)
+  | runs -> Alcotest.failf "expected one run span, got %d" (List.length runs)
 
 let suite =
   ( "sim",
@@ -126,4 +158,6 @@ let suite =
       Alcotest.test_case "pretty-printer coverage" `Quick test_pp_coverage;
       Alcotest.test_case "report span" `Quick test_report_span;
       Alcotest.test_case "inspect summary line" `Quick test_inspect_summary_line;
+      Alcotest.test_case "teardown detaches oracle and sampler" `Quick
+        test_teardown_detaches_observers;
     ] )

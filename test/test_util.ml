@@ -287,6 +287,147 @@ let test_stats_merge () =
   check Alcotest.int "merged counter" 3 (Stats.get b "c");
   check Alcotest.int "merged series" 2 (Stats.count b "s")
 
+let test_trace_disabled_addf_lazy () =
+  (* A disabled trace must not even render the message: %t would call
+     the closure during formatting. *)
+  let t = Trace.create () in
+  Trace.set_enabled t false;
+  Trace.addf t ~time:1 ~topic:"x" "%t" (fun _ -> Alcotest.fail "rendered while disabled");
+  check Alcotest.int "nothing recorded" 0 (List.length (Trace.events t))
+
+let test_stats_percentile_edges () =
+  let s = Stats.create () in
+  check Alcotest.bool "empty is nan" true (Float.is_nan (Stats.percentile s "none" 50.0));
+  Stats.record s "one" 7.0;
+  List.iter
+    (fun p -> check (Alcotest.float 1e-9) (Printf.sprintf "single p%g" p) 7.0 (Stats.percentile s "one" p))
+    [ 0.0; 50.0; 100.0 ];
+  for i = 1 to 10 do
+    Stats.record s "ten" (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "p0 is the minimum" 1.0 (Stats.percentile s "ten" 0.0);
+  check (Alcotest.float 1e-9) "p100 is the maximum" 10.0 (Stats.percentile s "ten" 100.0)
+
+let test_stats_labelled () =
+  let s = Stats.create () in
+  check Alcotest.string "canonical key, labels sorted" "net.bytes{dst=\"1\",src=\"0\"}"
+    (Stats.labelled_key "net.bytes" [ ("src", "0"); ("dst", "1") ]);
+  Stats.incr_l s "hits" ~labels:[ ("b", "2"); ("a", "1") ];
+  Stats.add_l s "hits" ~labels:[ ("a", "1"); ("b", "2") ] 4;
+  check Alcotest.int "label order is canonicalised" 5
+    (Stats.get_l s "hits" ~labels:[ ("b", "2"); ("a", "1") ]);
+  check Alcotest.int "different labels are distinct" 0
+    (Stats.get_l s "hits" ~labels:[ ("a", "9") ]);
+  (* Labelled counters live in the plain table and merge like any other. *)
+  check Alcotest.int "visible as plain counter" 5 (Stats.get s "hits{a=\"1\",b=\"2\"}");
+  let dst = Stats.create () in
+  Stats.merge_into ~src:s ~dst;
+  check Alcotest.int "merged" 5 (Stats.get_l dst "hits" ~labels:[ ("a", "1"); ("b", "2") ])
+
+let test_stats_histogram () =
+  let s = Stats.create () in
+  let h = Stats.histogram s "lat" ~buckets:[| 1.0; 2.0; 4.0 |] in
+  List.iter (Stats.observe s "lat") [ 0.5; 1.0; 1.5; 4.0; 100.0 ];
+  (* v lands in the first bucket with v <= bound; beyond the last
+     bound it overflows. *)
+  check (Alcotest.array Alcotest.int) "bucket counts" [| 2; 1; 1; 1 |] h.Stats.counts;
+  check Alcotest.int "samples" 5 h.Stats.samples;
+  check (Alcotest.float 1e-9) "sum" 107.0 h.Stats.sum;
+  (* First registration wins. *)
+  let h' = Stats.histogram s "lat" ~buckets:[| 9.0 |] in
+  check Alcotest.int "re-registration keeps buckets" 3 (Array.length h'.Stats.buckets);
+  (* Auto-registration uses the default buckets. *)
+  Stats.observe s "fresh" 3.0;
+  (match Stats.histogram_opt s "fresh" with
+  | Some h -> check Alcotest.int "default buckets" (Array.length Stats.default_buckets) (Array.length h.Stats.buckets)
+  | None -> Alcotest.fail "observe did not register");
+  check Alcotest.bool "unknown is None" true (Stats.histogram_opt s "nope" = None);
+  check (Alcotest.list Alcotest.string) "sorted names" [ "fresh"; "lat" ]
+    (List.map fst (Stats.histograms s))
+
+module Json = Adgc_util.Json
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("b", Json.Arr [ Json.Int 1; Json.Null; Json.Bool false ]);
+        ("a", Json.Str "esc \"x\"\n\t\x01");
+        ("f", Json.of_float 2.5);
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Ok doc' -> check Alcotest.string "roundtrip" (Json.to_string doc) (Json.to_string doc')
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "nul"; "\"unterminated" ]
+
+let test_json_float_repr () =
+  let str f = Json.to_string (Json.of_float f) in
+  check Alcotest.string "integral floats have no exponent" "3" (str 3.0);
+  check Alcotest.string "nan is null" "null" (str Float.nan);
+  check Alcotest.string "inf is null" "null" (str infinity);
+  (* Representation must parse back to the same value. *)
+  List.iter
+    (fun f ->
+      match Json.of_string (str f) with
+      | Ok (Json.Float f') -> check (Alcotest.float 0.0) "exact" f f'
+      | Ok (Json.Int i) -> check (Alcotest.float 0.0) "exact" f (float_of_int i)
+      | Ok _ | Error _ -> Alcotest.failf "bad float repr %s" (str f))
+    [ 0.1; 1.0 /. 3.0; 1e-300; 6.02e23 ]
+
+let test_stats_to_json_stable () =
+  let populate () =
+    let s = Stats.create () in
+    Stats.incr s "z";
+    Stats.add s "a" 3;
+    Stats.incr_l s "l" ~labels:[ ("k", "v") ];
+    List.iter (Stats.record s "series") [ 3.0; 1.0; 2.0 ];
+    List.iter (Stats.observe s "hist") [ 1.0; 5.0 ];
+    s
+  in
+  let a = Json.to_string (Stats.to_json (populate ())) in
+  let b = Json.to_string (Stats.to_json (populate ())) in
+  check Alcotest.string "byte-stable" a b;
+  (* Insertion order must not leak into the document. *)
+  let s = Stats.create () in
+  Stats.add s "a" 3;
+  Stats.incr_l s "l" ~labels:[ ("k", "v") ];
+  Stats.incr s "z";
+  List.iter (Stats.observe s "hist") [ 5.0; 1.0 ];
+  List.iter (Stats.record s "series") [ 3.0; 1.0; 2.0 ];
+  check Alcotest.string "order-independent" a (Json.to_string (Stats.to_json s))
+
+let test_json_validate () =
+  let schema =
+    Json.Obj
+      [
+        ("type", Json.Str "object");
+        ("required", Json.Arr [ Json.Str "n" ]);
+        ( "properties",
+          Json.Obj
+            [
+              ("n", Json.Obj [ ("type", Json.Str "integer") ]);
+              ("tag", Json.Obj [ ("enum", Json.Arr [ Json.Str "a"; Json.Str "b" ]) ]);
+            ] );
+      ]
+  in
+  (match Json.validate ~schema (Json.Obj [ ("n", Json.Int 1); ("tag", Json.Str "a") ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected: %s" e);
+  (match Json.validate ~schema (Json.Obj [ ("tag", Json.Str "a") ]) with
+  | Ok () -> Alcotest.fail "missing required accepted"
+  | Error _ -> ());
+  match Json.validate ~schema (Json.Obj [ ("n", Json.Int 1); ("tag", Json.Str "z") ]) with
+  | Ok () -> Alcotest.fail "enum violation accepted"
+  | Error _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Dense (epoch-marked bitset + interner) *)
 
@@ -423,6 +564,15 @@ let suite =
       Alcotest.test_case "stats: percentile" `Quick test_stats_percentile;
       Alcotest.test_case "stats: empty series" `Quick test_stats_empty_series;
       Alcotest.test_case "stats: merge" `Quick test_stats_merge;
+      Alcotest.test_case "trace: disabled addf never renders" `Quick test_trace_disabled_addf_lazy;
+      Alcotest.test_case "stats: percentile edges" `Quick test_stats_percentile_edges;
+      Alcotest.test_case "stats: labelled counters" `Quick test_stats_labelled;
+      Alcotest.test_case "stats: histograms" `Quick test_stats_histogram;
+      Alcotest.test_case "stats: to_json is stable" `Quick test_stats_to_json_stable;
+      Alcotest.test_case "json: roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json: rejects malformed" `Quick test_json_rejects;
+      Alcotest.test_case "json: float representation" `Quick test_json_float_repr;
+      Alcotest.test_case "json: schema validation" `Quick test_json_validate;
       Alcotest.test_case "dense: mark basics" `Quick test_mark_basics;
       Alcotest.test_case "dense: O(1) clear via epochs" `Quick test_mark_epoch_clear;
       Alcotest.test_case "dense: mark growth" `Quick test_mark_growth;
