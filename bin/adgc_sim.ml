@@ -220,6 +220,167 @@ let run_cmd topology procs seed loss detector time churn_steps objects edges tra
       Option.iter (fun r -> Printf.eprintf "ORACLE:\n%s\n" r) oracle_report;
       1
 
+(* ----------------------------------------------------------------- *)
+(* mc: bounded model checking, trace replay and the mutation gauntlet. *)
+
+module Mc_scenario = Adgc_mc.Scenario
+module Mc_scenarios = Adgc_mc.Scenarios
+module Mc_explore = Adgc_mc.Explore
+module Mc_action = Adgc_mc.Action
+module Mc_trace = Adgc_mc.Trace
+module Mc_mutants = Adgc_mc.Mutants
+
+let pp_trail ppf trail =
+  List.iteri (fun i a -> Format.fprintf ppf "  %2d. %a@." (i + 1) Mc_action.pp a) trail
+
+(* On a violation, delta-debug the trail down and save it as a
+   replayable counterexample. *)
+let emit_counterexample ?mutant ~scenario ~out trail =
+  let test t =
+    match Mc_explore.run ?mutant scenario t with
+    | Ok (_, viols) -> viols <> []
+    | Error _ -> false
+  in
+  let minimized = Mc_explore.ddmin ~test trail in
+  let violations =
+    match Mc_explore.run ?mutant scenario minimized with
+    | Ok (_, viols) -> viols
+    | Error _ -> []
+  in
+  let trace =
+    {
+      Mc_trace.scenario = scenario.Mc_scenario.name;
+      mutant;
+      expect = Mc_trace.Violation;
+      caps = None;
+      violations;
+      trail = minimized;
+    }
+  in
+  let path =
+    match out with
+    | Some p -> p
+    | None -> Printf.sprintf "mc_%s_counterexample.json" scenario.Mc_scenario.name
+  in
+  Mc_trace.save path trace;
+  Format.printf "minimized counterexample (%d of %d actions) written to %s@."
+    (List.length minimized) (List.length trail) path;
+  Format.printf "%a" pp_trail minimized;
+  List.iter (fun v -> Format.printf "  violation: %s@." v) violations
+
+let mc_scenarios_of = function
+  | None -> Ok Mc_scenarios.all
+  | Some name -> (
+      match Mc_scenarios.find name with
+      | Some s -> Ok [ s ]
+      | None ->
+          Error
+            (Printf.sprintf "unknown scenario %S (have: %s)" name
+               (String.concat ", "
+                  (List.map (fun (s : Mc_scenario.t) -> s.Mc_scenario.name) Mc_scenarios.all))))
+
+let mc_explore ?mutant ~max_depth ~out scenarios =
+  let failed = ref false in
+  List.iter
+    (fun (s : Mc_scenario.t) ->
+      let t0 = Sys.time () in
+      let o = Mc_explore.explore ?mutant ~max_depth s in
+      let dt = Sys.time () -. t0 in
+      Format.printf "%-18s %7d states %8d transitions  %s  (%.1fs)@." s.Mc_scenario.name
+        o.Mc_explore.states o.Mc_explore.transitions
+        (if o.Mc_explore.complete then "complete" else "depth-capped")
+        dt;
+      if not o.Mc_explore.complete then failed := true;
+      match o.Mc_explore.violation with
+      | None -> ()
+      | Some (trail, _) ->
+          failed := true;
+          Format.printf "VIOLATION in %s:@." s.Mc_scenario.name;
+          emit_counterexample ?mutant ~scenario:s ~out trail)
+    scenarios;
+  if !failed then 1 else 0
+
+let mc_swarm ?mutant ~seeds ~steps ~seed ~out scenarios =
+  let seed_list = List.init seeds (fun i -> seed + i) in
+  let failed = ref false in
+  List.iter
+    (fun (s : Mc_scenario.t) ->
+      match Mc_explore.swarm ?mutant ~seeds:seed_list ~steps s with
+      | None ->
+          Format.printf "%-18s %d walks x %d steps: no violation@." s.Mc_scenario.name seeds
+            steps
+      | Some (bad_seed, trail, _) ->
+          failed := true;
+          Format.printf "VIOLATION in %s (seed %d):@." s.Mc_scenario.name bad_seed;
+          emit_counterexample ?mutant ~scenario:s ~out trail)
+    scenarios;
+  if !failed then 1 else 0
+
+let mc_gauntlet traces_dir =
+  (match traces_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | Some _ | None -> ());
+  let all_ok = ref true in
+  List.iter
+    (fun (e : Mc_mutants.entry) ->
+      let o = Mc_mutants.run_entry e in
+      let ok = o.Mc_mutants.caught && o.Mc_mutants.deterministic in
+      if not ok then all_ok := false;
+      Format.printf "%-28s %s  witness %2d -> minimized %2d%s@." e.Mc_mutants.mutant
+        (if o.Mc_mutants.caught then "CAUGHT" else "MISSED")
+        (List.length e.Mc_mutants.witness)
+        (List.length o.Mc_mutants.minimized)
+        (if o.Mc_mutants.caught && not o.Mc_mutants.deterministic then "  NONDETERMINISTIC"
+         else "");
+      if o.Mc_mutants.caught then
+        Option.iter
+          (fun dir ->
+            let path = Filename.concat dir ("mc_" ^ e.Mc_mutants.mutant ^ ".json") in
+            Mc_trace.save path (Mc_mutants.trace_of o))
+          traces_dir)
+    Mc_mutants.all;
+  if !all_ok then begin
+    Printf.printf "gauntlet: all %d mutants caught with deterministic minimized traces\n"
+      (List.length Mc_mutants.all);
+    0
+  end
+  else begin
+    Printf.eprintf "gauntlet: FAILED (a mutant escaped or a trace was nondeterministic)\n";
+    1
+  end
+
+let mc_replay file =
+  match Mc_trace.load file with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      2
+  | Ok t -> (
+      Format.printf "replaying %s: scenario %s%s, %d actions@." file t.Mc_trace.scenario
+        (match t.Mc_trace.mutant with Some m -> " under mutant " ^ m | None -> "")
+        (List.length t.Mc_trace.trail);
+      match Mc_trace.replay t with
+      | Mc_trace.Reproduced ->
+          print_endline "reproduced";
+          0
+      | Mc_trace.Failed reason ->
+          Printf.eprintf "FAILED to reproduce: %s\n" reason;
+          1)
+
+let mc_cmd scenario mutant max_depth gauntlet swarm seeds steps seed replay traces_dir out =
+  match replay with
+  | Some file -> mc_replay file
+  | None ->
+      if gauntlet then mc_gauntlet traces_dir
+      else begin
+        match mc_scenarios_of scenario with
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            2
+        | Ok scenarios ->
+            if swarm then mc_swarm ?mutant ~seeds ~steps ~seed ~out scenarios
+            else mc_explore ?mutant ~max_depth ~out scenarios
+      end
+
 type trace_format = Text | Chrome | Jsonl
 
 let trace_format_conv =
@@ -365,10 +526,74 @@ let trace_term = Term.(const trace_cmd $ topology_arg $ seed_arg $ trace_format_
 let trace_cmd_info =
   Cmd.info "trace" ~doc:"Run one detection on a figure topology and print the CDM trace."
 
+let mc_scenario_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario"; "s" ]
+        ~doc:"Restrict to one model-checking scenario (default: all of them)." ~docv:"NAME")
+
+let mc_mutant_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mutant"; "m" ] ~doc:"Activate one Mc_mutate protocol variant." ~docv:"NAME")
+
+let mc_depth_arg =
+  Arg.(value & opt int 64 & info [ "max-depth" ] ~doc:"Exploration depth bound.")
+
+let mc_gauntlet_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "gauntlet" ]
+        ~doc:"Run the mutation gauntlet: every mutant must be caught with a deterministic \
+              minimized trace.")
+
+let mc_swarm_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "swarm" ] ~doc:"Randomized per-seed walks instead of exhaustive exploration.")
+
+let mc_seeds_arg =
+  Arg.(value & opt int 32 & info [ "seeds" ] ~doc:"Number of swarm walks.")
+
+let mc_steps_arg =
+  Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Actions per swarm walk.")
+
+let mc_replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~doc:"Replay a counterexample trace file and verify it reproduces."
+        ~docv:"FILE")
+
+let mc_traces_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "traces-dir" ]
+        ~doc:"Gauntlet: write each minimized counterexample as JSON into $(docv)."
+        ~docv:"DIR")
+
+let mc_term =
+  Term.(
+    const mc_cmd $ mc_scenario_arg $ mc_mutant_arg $ mc_depth_arg $ mc_gauntlet_arg
+    $ mc_swarm_arg $ mc_seeds_arg $ mc_steps_arg $ seed_arg $ mc_replay_arg
+    $ mc_traces_dir_arg $ out_arg)
+
+let mc_cmd_info =
+  Cmd.info "mc"
+    ~doc:
+      "Bounded model checking: exhaustively explore small-scope scenarios under every \
+       interleaving of deliveries, drops and collector duties; replay minimized \
+       counterexamples; run the mutation gauntlet."
+
 let main =
   Cmd.group
     (Cmd.info "adgc_sim" ~version:"1.0.0"
        ~doc:"Asynchronous complete distributed garbage collection simulator.")
-    [ Cmd.v run_cmd_info run_term; Cmd.v trace_cmd_info trace_term ]
+    [ Cmd.v run_cmd_info run_term; Cmd.v trace_cmd_info trace_term; Cmd.v mc_cmd_info mc_term ]
 
 let () = exit (Cmd.eval' main)

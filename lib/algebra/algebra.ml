@@ -31,6 +31,17 @@ let add_exn t side key ~ic =
         (Format.asprintf "Algebra.add_exn: IC conflict on %a (%d vs %d)" Ref_key.pp key
            existing incoming)
 
+exception Union_conflict of side * Ref_key.t
+
+let union a b =
+  let merge side m1 m2 =
+    Ref_key.Map.union
+      (fun key l r -> if l = r then Some l else raise (Union_conflict (side, key)))
+      m1 m2
+  in
+  try Ok { source = merge Source a.source b.source; target = merge Target a.target b.target }
+  with Union_conflict (side, key) -> Error (side, key)
+
 let source t = Ref_key.Map.bindings t.source
 
 let target t = Ref_key.Map.bindings t.target
@@ -57,7 +68,11 @@ let matching t =
   try
     let unresolved = ref [] and frontier = ref [] in
     let cancel key source_ic target_ic =
-      if source_ic <> target_ic then raise (Abort (key, source_ic, target_ic))
+      (* Gauntlet mutant: cancelling despite an IC disagreement is the
+         paper's canonical unsafe variant — a mutator invocation
+         between the two snapshots goes unnoticed. *)
+      if source_ic <> target_ic && not (Adgc_util.Mc_mutate.enabled "skip_ic_guards")
+      then raise (Abort (key, source_ic, target_ic))
       else None
     in
     ignore

@@ -46,6 +46,15 @@ val add : t -> side -> Ref_key.t -> ic:int -> add_result
 val add_exn : t -> side -> Ref_key.t -> ic:int -> t
 (** Test helper. @raise Invalid_argument on conflict. *)
 
+val union : t -> t -> (t, side * Ref_key.t) result
+(** Entry-wise union of the two source sets and the two target sets —
+    the merge a detection performs when combining what two CDMs have
+    compiled.  [Error (side, key)] when the same key carries divergent
+    counters on one side (the same mutation signal as
+    {!add}'s [Ic_conflict]).  Where defined, union is commutative,
+    associative and idempotent — pinned by the algebra-law property
+    suite. *)
+
 (** {1 Observation} *)
 
 val source : t -> (Ref_key.t * int) list

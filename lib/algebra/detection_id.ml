@@ -8,6 +8,8 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let hash t = Hashtbl.hash (Proc_id.to_int t.initiator, t.seq)
+
 let pp ppf t = Format.fprintf ppf "D%d@@%a" t.seq Proc_id.pp t.initiator
 
 let to_string t = Format.asprintf "%a" pp t

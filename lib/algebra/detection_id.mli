@@ -14,6 +14,11 @@ val equal : t -> t -> bool
 
 val compare : t -> t -> int
 
+val hash : t -> int
+(** Consistent with {!equal} (hence with the {!compare} total order):
+    ids that compare equal hash equal — required by the hashed
+    duplicate-suppression and lineage tables. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

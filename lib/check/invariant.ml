@@ -19,9 +19,17 @@ let pp ppf = function
       Format.fprintf ppf "scion %a counter %d ahead of stub counter %d" Ref_key.pp key scion_ic
         stub_ic
 
-let check cluster =
+let kind = function
+  | Live_reclaimed _ -> "live_reclaimed"
+  | Dangling_ref _ -> "dangling_ref"
+  | Scion_dangles _ -> "scion_dangles"
+  | Ic_regression _ -> "ic_regression"
+
+let describe v = Format.asprintf "%a" pp v
+
+let check ?live cluster =
   let rt = Cluster.rt cluster in
-  let live = Cluster.globally_live cluster in
+  let live = match live with Some l -> l | None -> Cluster.globally_live cluster in
   let acc = ref [] in
   let push v = acc := v :: !acc in
   Array.iter

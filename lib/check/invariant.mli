@@ -33,8 +33,24 @@ type violation =
 
 val pp : Format.formatter -> violation -> unit
 
-val check : Adgc_rt.Cluster.t -> violation list
+val kind : violation -> string
+(** Stable machine-readable tag ("live_reclaimed", "dangling_ref",
+    "scion_dangles", "ic_regression") — what counterexample traces
+    record. *)
+
+val describe : violation -> string
+(** [pp] rendered to a string. *)
+
+val check : ?live:Oid.Set.t -> Adgc_rt.Cluster.t -> violation list
 (** Run every instantaneous invariant over the whole cluster.  Dead
     processes are wreckage and are skipped (their state is allowed to
     dangle); references into a dead process are not judged either —
-    they become judgeable again if the owner restarts. *)
+    they become judgeable again if the owner restarts.
+
+    [live] overrides the ground-truth live set.  The model checker
+    passes a refinement of {!Adgc_rt.Cluster.globally_live} in which an
+    in-flight RMI reply contributes only its result references: the
+    reply's target field is routing metadata (nothing imports it on
+    delivery), and treating it as a capability would flag the
+    legitimate race where a proven-dead cycle's invocation reply is
+    still in transit when the sweep runs. *)

@@ -40,3 +40,30 @@ let quick ?(seed = 42) ?(n_procs = 4) () =
   runtime.Adgc_rt.Runtime.new_set_period <- 350;
   runtime.Adgc_rt.Runtime.scion_grace <- 3_000;
   { t with policy = Adgc_dcda.Policy.aggressive; bt_idle_threshold = 200 }
+
+(* The model checker runs the system time-frozen: nothing periodic
+   ever fires (the checker calls the duties explicitly), the network
+   parks every envelope for explored delivery, and every time-based
+   policy filter is neutralised so a state is a pure function of the
+   choice sequence that produced it. *)
+let mc ?(seed = 0) ?(n_procs = 2) () =
+  let t = default ~seed ~n_procs () in
+  let runtime = t.runtime in
+  runtime.Adgc_rt.Runtime.scion_grace <- 0;
+  runtime.Adgc_rt.Runtime.failure_detection <- false;
+  let net = t.net in
+  net.Adgc_rt.Network.delivery <- Adgc_rt.Network.Manual;
+  let policy =
+    {
+      Adgc_dcda.Policy.default with
+      Adgc_dcda.Policy.idle_threshold = 0;
+      scan_period = 1;
+      snapshot_period = 1;
+      cooldown = 0;
+      backoff = false;
+      scan_order = Adgc_dcda.Policy.Sorted;
+      deletion_mode = Adgc_dcda.Policy.Broadcast;
+      early_ic_check = false;
+    }
+  in
+  { t with policy; summarize = Adgc_snapshot.Summarize.Naive }

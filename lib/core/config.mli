@@ -35,3 +35,12 @@ val default : ?seed:int -> ?n_procs:int -> unit -> t
 val quick : ?seed:int -> ?n_procs:int -> unit -> t
 (** Aggressive periods everywhere — detections conclude within a few
     thousand ticks; what most tests use. *)
+
+val mc : ?seed:int -> ?n_procs:int -> unit -> t
+(** Time-frozen configuration for the bounded model checker
+    ({!Adgc_mc}): manual (explored) network delivery, no idle
+    thresholds, cooldowns, backoff or early-IC pruning, sorted scan
+    order, broadcast deletion, naive summarizer.  With this config the
+    whole system state is a pure function of the choice sequence —
+    the scheduler clock never advances and the RNG is never drawn
+    from. *)

@@ -58,6 +58,8 @@ let cluster t = t.cluster
 
 let rt t = Cluster.rt t.cluster
 
+let net t = Cluster.net t.cluster
+
 let store t = t.store
 
 let detector t i =

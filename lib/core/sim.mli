@@ -17,6 +17,10 @@ val cluster : t -> Adgc_rt.Cluster.t
 
 val rt : t -> Adgc_rt.Runtime.t
 
+val net : t -> Adgc_rt.Network.t
+(** The transport — the model checker drives it directly in
+    {!Adgc_rt.Network.Manual} delivery mode. *)
+
 val store : t -> Adgc_snapshot.Snapshot_store.t
 
 val detector : t -> int -> Adgc_dcda.Detector.t

@@ -25,7 +25,12 @@ let proc_id t = t.proc.Process.id
 
 let policy t = t.policy
 
-let set_summary t summary = t.summary <- Some summary
+let set_summary t summary =
+  (* Gauntlet mutant: freeze the first snapshot forever — guards then
+     reason about counters the mutator has since moved past. *)
+  match (t.summary, Adgc_util.Mc_mutate.enabled "stale_summaries") with
+  | Some _, true -> ()
+  | (Some _ | None), _ -> t.summary <- Some summary
 
 let summary t = t.summary
 
@@ -136,7 +141,13 @@ let proceed_from t ~id ~delivered ~(si : Summary.scion_info) ~hops ~budget =
               Stats.incr t.rt.Runtime.stats "dcda.branch.missing_stub";
               acc
           | Some stub ->
-              if stub.Summary.local_reach then begin
+              if
+                stub.Summary.local_reach
+                (* The ignore_local_reach mutant forgets rule 2 both
+                   here and at CDM arrival: locally reachable
+                   continuations get followed and concluded over. *)
+                && not (Adgc_util.Mc_mutate.enabled "ignore_local_reach")
+              then begin
                 (* Locally reachable continuation: never follow (§2.1). *)
                 Stats.incr t.rt.Runtime.stats "dcda.branch.local_reach";
                 acc
@@ -145,9 +156,27 @@ let proceed_from t ~id ~delivered ~(si : Summary.scion_info) ~hops ~budget =
                 let add side key ~ic alg =
                   match Algebra.add alg side key ~ic with
                   | Algebra.Added alg -> alg
-                  | Algebra.Ic_conflict _ -> raise (Stop "ic_conflict")
+                  | Algebra.Ic_conflict _ ->
+                      (* The skip_ic_guards mutant keeps the first
+                         counter it saw instead of aborting — rule 3 in
+                         its add-time form is the same guard. *)
+                      if Adgc_util.Mc_mutate.enabled "skip_ic_guards" then alg
+                      else raise (Stop "ic_conflict")
                 in
                 let stub_key = Ref_key.make ~src:(proc_id t) ~target:stub_target in
+                (* Gauntlet mutant: lose one scion dependency from the
+                   source set — an external holder of the "cycle" goes
+                   unaccounted and matching can cancel to nothing. *)
+                let deps =
+                  if
+                    Adgc_util.Mc_mutate.enabled "drop_source_scion"
+                    && not (Ref_key.Set.is_empty stub.Summary.scions_to)
+                  then
+                    Ref_key.Set.remove
+                      (Ref_key.Set.min_elt stub.Summary.scions_to)
+                      stub.Summary.scions_to
+                  else stub.Summary.scions_to
+                in
                 let alg =
                   delivered
                   |> fun alg ->
@@ -156,7 +185,7 @@ let proceed_from t ~id ~delivered ~(si : Summary.scion_info) ~hops ~budget =
                       match Summary.find_scion summary dep with
                       | Some dep_info -> add Algebra.Source dep ~ic:dep_info.Summary.scion_ic alg
                       | None -> alg (* cannot happen for a coherent summary *))
-                    stub.Summary.scions_to alg
+                    deps alg
                   |> add Algebra.Target stub_key ~ic:stub.Summary.stub_ic
                 in
                 if Algebra.equal alg delivered then begin
@@ -260,19 +289,47 @@ let handle_cdm t (cdm : Cdm.t) =
              scion-side counter in our snapshot. *)
           let stub_side_ic = Algebra.ic cdm.Cdm.algebra Algebra.Target arrival in
           match stub_side_ic with
-          | Some ic when ic <> si.Summary.scion_ic -> abort t id "ic_mismatch_delivery"
+          | Some ic
+            when ic <> si.Summary.scion_ic
+                 && not (Adgc_util.Mc_mutate.enabled "skip_ic_guards") ->
+              abort t id "ic_mismatch_delivery"
           | None -> abort t id "malformed_cdm"
           | Some _ ->
-              if si.Summary.target_locally_reachable then abort t id "locally_reachable"
+              if
+                si.Summary.target_locally_reachable
+                && not (Adgc_util.Mc_mutate.enabled "ignore_local_reach")
+              then abort t id "locally_reachable"
               else begin
+                (* The skip_ic_guards mutant trusts the counter that
+                   travelled in the CDM over the snapshot's own — and
+                   keeps whichever value arrived first on a conflict. *)
+                let arrival_ic =
+                  if Adgc_util.Mc_mutate.enabled "skip_ic_guards" then
+                    match stub_side_ic with Some ic -> ic | None -> si.Summary.scion_ic
+                  else si.Summary.scion_ic
+                in
                 match
-                  Algebra.add cdm.Cdm.algebra Algebra.Source arrival ~ic:si.Summary.scion_ic
+                  match Algebra.add cdm.Cdm.algebra Algebra.Source arrival ~ic:arrival_ic with
+                  | Algebra.Ic_conflict _
+                    when Adgc_util.Mc_mutate.enabled "skip_ic_guards" ->
+                      (* Same mutant as in [proceed_from]: rule 3's
+                         add-time form silently keeps the first counter
+                         instead of aborting. *)
+                      Algebra.Added cdm.Cdm.algebra
+                  | r -> r
                 with
                 | Algebra.Ic_conflict _ -> abort t id "ic_conflict"
                 | Algebra.Added alg -> (
                     match Algebra.matching alg with
                     | Algebra.Ic_abort _ -> abort t id "ic_mismatch_matching"
                     | Algebra.Match { unresolved = []; frontier = [] } ->
+                        conclude t ~id ~algebra:alg ~arrival ~hops:cdm.Cdm.hops
+                    | Algebra.Match { unresolved = _ :: _; frontier = [] }
+                      when Adgc_util.Mc_mutate.enabled "conclude_ignores_unresolved" ->
+                        (* Gauntlet mutant: declare victory while scion
+                           dependencies are still untraversed — an
+                           external holder of the "cycle" (paper Fig. 1)
+                           is exactly such a dependency. *)
                         conclude t ~id ~algebra:alg ~arrival ~hops:cdm.Cdm.hops
                     | Algebra.Match _ -> (
                         match t.policy.Policy.ttl with
@@ -300,6 +357,13 @@ let initiate t key =
       | None -> false
       | Some si ->
           if si.Summary.target_locally_reachable then false
+          else if
+            (* Gauntlet mutant: never retry a candidate — a detection
+               whose CDM was lost then starves forever, breaking the
+               paper's resilience-to-message-loss claim. *)
+            Ref_key.Tbl.mem t.last_initiated key
+            && Adgc_util.Mc_mutate.enabled "no_reinitiation"
+          then false
           else begin
             let id = Detection_id.make ~initiator:(proc_id t) ~seq:t.next_seq in
             t.next_seq <- t.next_seq + 1;

@@ -1,0 +1,47 @@
+(** The mutation-testing gauntlet.
+
+    Each entry names one intentionally-broken protocol variant (a
+    {!Adgc_util.Mc_mutate} flag compiled into the production code), the
+    scenario whose scope exposes it, and a hand-written witness
+    schedule.  [run_entry] replays the witness, checks the mutant is
+    caught, delta-debugs the trail to a 1-minimal counterexample and
+    verifies the minimized trace replays deterministically.
+
+    Two catch strategies:
+
+    - [Safety]: under the mutant, the witness trail drives the system
+      into an invariant violation (a live object reclaimed).  The ddmin
+      predicate is "replaying this subsequence under the mutant still
+      violates".
+    - [Divergence]: the witness reaches the scenario goal (a proven
+      reclamation) on the clean build, but under the mutant an action
+      becomes inapplicable or the goal is missed — a liveness kill.
+      The ddmin predicate is differential: the subsequence must still
+      succeed clean {e and} fail mutated. *)
+
+type strategy = Safety | Divergence
+
+type entry = {
+  mutant : string;
+  descr : string;  (** what the broken variant forgets *)
+  scenario : string;
+  strategy : strategy;
+  caps : Scenario.caps option;  (** scope override for the witness *)
+  witness : Action.t list;
+}
+
+val all : entry list
+(** The gauntlet, in catch order. *)
+
+type outcome = {
+  entry : entry;
+  caught : bool;
+  minimized : Action.t list;  (** 1-minimal witness, valid when caught *)
+  violations : string list;  (** [Safety] only: violations of the minimized trail *)
+  deterministic : bool;  (** minimized trace replayed twice with equal results *)
+}
+
+val run_entry : entry -> outcome
+
+val trace_of : outcome -> Trace.t
+(** Package a caught outcome as a replayable counterexample. *)

@@ -1,0 +1,186 @@
+module Json = Adgc_util.Json
+
+type expectation = Violation | Divergence
+
+type t = {
+  scenario : string;
+  mutant : string option;
+  expect : expectation;
+  caps : Scenario.caps option;
+  violations : string list;
+  trail : Action.t list;
+}
+
+let version = 1
+
+let caps_to_json (c : Scenario.caps) =
+  Json.obj_sorted
+    [
+      ("snapshots", Json.Int c.Scenario.snapshots);
+      ("scans", Json.Int c.Scenario.scans);
+      ("lgcs", Json.Int c.Scenario.lgcs);
+      ("sends", Json.Int c.Scenario.sends);
+      ("drops", Json.Int c.Scenario.drops);
+    ]
+
+let caps_of_json = function
+  | Json.Obj fields -> (
+      let int name =
+        match List.assoc_opt name fields with
+        | Some (Json.Int n) when n >= 0 -> Ok n
+        | Some _ | None -> Error (Printf.sprintf "trace: caps field %S must be a non-negative int" name)
+      in
+      match (int "snapshots", int "scans", int "lgcs", int "sends", int "drops") with
+      | Ok snapshots, Ok scans, Ok lgcs, Ok sends, Ok drops ->
+          Ok { Scenario.snapshots; scans; lgcs; sends; drops }
+      | (Error _ as e), _, _, _, _
+      | _, (Error _ as e), _, _, _
+      | _, _, (Error _ as e), _, _
+      | _, _, _, (Error _ as e), _
+      | _, _, _, _, (Error _ as e) ->
+          e)
+  | _ -> Error "trace: caps must be an object"
+
+let expectation_to_string = function
+  | Violation -> "violation"
+  | Divergence -> "divergence"
+
+let expectation_of_string = function
+  | "violation" -> Ok Violation
+  | "divergence" -> Ok Divergence
+  | s -> Error (Printf.sprintf "unknown expectation %S" s)
+
+let to_json t =
+  Json.obj_sorted
+    [
+      ("version", Json.Int version);
+      ("scenario", Json.Str t.scenario);
+      ( "mutant",
+        match t.mutant with None -> Json.Null | Some m -> Json.Str m );
+      ("expect", Json.Str (expectation_to_string t.expect));
+      ("caps", match t.caps with None -> Json.Null | Some c -> caps_to_json c);
+      ("violations", Json.Arr (List.map (fun v -> Json.Str v) t.violations));
+      ("trail", Json.Arr (List.map Action.to_json t.trail));
+    ]
+
+let ( let* ) = Result.bind
+
+let field name = function
+  | Json.Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "trace: missing field %S" name))
+  | _ -> Error "trace: expected an object"
+
+let of_json json =
+  let* v = field "version" json in
+  let* () =
+    match v with
+    | Json.Int n when n = version -> Ok ()
+    | Json.Int n -> Error (Printf.sprintf "trace: unsupported version %d" n)
+    | _ -> Error "trace: version must be an integer"
+  in
+  let* scenario =
+    let* s = field "scenario" json in
+    match s with Json.Str s -> Ok s | _ -> Error "trace: scenario must be a string"
+  in
+  let* mutant =
+    let* m = field "mutant" json in
+    match m with
+    | Json.Null -> Ok None
+    | Json.Str m -> Ok (Some m)
+    | _ -> Error "trace: mutant must be a string or null"
+  in
+  let* expect =
+    let* e = field "expect" json in
+    match e with
+    | Json.Str e -> expectation_of_string e
+    | _ -> Error "trace: expect must be a string"
+  in
+  let* caps =
+    (* Absent (older writer) reads as None: the scenario default. *)
+    match field "caps" json with
+    | Error _ | Ok Json.Null -> Ok None
+    | Ok c -> Result.map Option.some (caps_of_json c)
+  in
+  let* violations =
+    let* vs = field "violations" json in
+    match vs with
+    | Json.Arr items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match item with
+            | Json.Str s -> Ok (s :: acc)
+            | _ -> Error "trace: violations must be strings")
+          (Ok []) items
+        |> Result.map List.rev
+    | _ -> Error "trace: violations must be an array"
+  in
+  let* trail =
+    let* ts = field "trail" json in
+    match ts with
+    | Json.Arr items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* a = Action.of_json item in
+            Ok (a :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+    | _ -> Error "trace: trail must be an array"
+  in
+  Ok { scenario; mutant; expect; caps; violations; trail }
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string_pretty (to_json t)))
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | contents ->
+      let* json = Json.of_string contents in
+      of_json json
+
+type verdict = Reproduced | Failed of string
+
+let replay t =
+  match Scenarios.find t.scenario with
+  | None -> Failed (Printf.sprintf "unknown scenario %S" t.scenario)
+  | Some scenario -> (
+      match t.expect with
+      | Violation -> (
+          match Explore.run ?mutant:t.mutant ?caps:t.caps scenario t.trail with
+          | Error e -> Failed (Printf.sprintf "trail inapplicable: %s" e)
+          | Ok (_, viols) ->
+              if viols = t.violations then Reproduced
+              else
+                Failed
+                  (Printf.sprintf "expected violations [%s], got [%s]"
+                     (String.concat "; " t.violations)
+                     (String.concat "; " viols)))
+      | Divergence -> (
+          (* the trail must reach the goal on the clean build... *)
+          match Explore.run ?caps:t.caps scenario t.trail with
+          | Error e -> Failed (Printf.sprintf "clean replay inapplicable: %s" e)
+          | Ok (sys, viols) ->
+              if viols <> [] then
+                Failed "clean replay violated an invariant"
+              else if not (System.goal_reached sys) then
+                Failed "clean replay did not reach the goal"
+              else (
+                (* ...and miss it (or become inapplicable) under the mutant *)
+                match Explore.run ?mutant:t.mutant ?caps:t.caps scenario t.trail with
+                | Error _ -> Reproduced
+                | Ok (sys', _) ->
+                    if System.goal_reached sys' then
+                      Failed "mutated replay still reaches the goal"
+                    else Reproduced)))

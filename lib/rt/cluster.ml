@@ -97,6 +97,12 @@ let restart_proc rt i =
        failure detection; the periodic duties (guarded per firing on
        [alive]) resume by themselves. *)
     Scion_table.touch_all_sources p.Process.scions ~now:(Scheduler.now rt.Runtime.sched);
+    (* Restart is a quiescence point for this process's inbound links
+       (nothing was accepted while down), so the duplicate-suppression
+       table can be truncated to per-sender floors here; unbounded
+       crash/restart runs otherwise grow it forever. *)
+    let pruned = Process.prune_delivered p in
+    if pruned > 0 then Stats.add rt.Runtime.stats "cluster.delivered_pruned" pruned;
     Stats.incr rt.Runtime.stats "cluster.restarts";
     Runtime.log rt ~topic:"cluster" "%a restarted" Proc_id.pp p.Process.id
   end

@@ -6,7 +6,12 @@ type report = { live : int; swept : int; stubs_live : int; stubs_dropped : int }
 let run rt (p : Process.t) =
   Stats.incr rt.Runtime.stats "lgc.runs";
   let heap = p.Process.heap in
-  let from = Heap.roots heap @ Scion_table.protected_targets p.Process.scions in
+  let from =
+    (* Gauntlet mutant: forgetting that scions are GC roots reclaims
+       anything only remote holders can reach. *)
+    if Adgc_util.Mc_mutate.enabled "lgc_ignores_scions" then Heap.roots heap
+    else Heap.roots heap @ Scion_table.protected_targets p.Process.scions
+  in
   let { Heap.local = live_set; remote } = Heap.trace heap ~from in
   (* Report the trace to the paged store, if any: a full collection
      touches every live object (experiment E17). *)

@@ -2,12 +2,15 @@ open Adgc_algebra
 module Rng = Adgc_util.Rng
 module Stats = Adgc_util.Stats
 
+type delivery_mode = Timed | Manual
+
 type config = {
   mutable latency_min : int;
   mutable latency_max : int;
   mutable drop_prob : float;
   mutable account_bytes : bool;
   mutable per_link_bytes : bool;
+  mutable delivery : delivery_mode;
 }
 
 let default_config () =
@@ -17,6 +20,7 @@ let default_config () =
     drop_prob = 0.0;
     account_bytes = false;
     per_link_bytes = false;
+    delivery = Timed;
   }
 
 type t = {
@@ -179,18 +183,29 @@ let send t (msg : Msg.t) =
     match reason with Some r -> Stats.incr t.stats ("net.msg.dropped." ^ r) | None -> ()
   in
   if Hashtbl.mem t.cut key then drop (Some "partition")
-  else begin
-    let lk = active_link t key in
-    if draw_loss t key lk then drop None
-    else begin
-      account t msg;
-      inject t deliver msg ~latency:(draw_latency t lk);
-      if lk.Faults.duplicate_prob > 0.0 && Rng.bernoulli t.rng lk.Faults.duplicate_prob then begin
-        Stats.incr t.stats "net.msg.duplicated";
-        inject t deliver msg ~latency:(draw_latency t lk)
-      end
-    end
-  end
+  else
+    match t.config.delivery with
+    | Manual ->
+        (* Explored delivery: park the envelope; an external scheduler
+           (the model checker) decides its fate through [deliver_one]
+           or [drop_one].  No RNG is consumed, so a manual run is a
+           pure function of the choice sequence. *)
+        account t msg;
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        Hashtbl.replace t.in_flight id msg
+    | Timed ->
+        let lk = active_link t key in
+        if draw_loss t key lk then drop None
+        else begin
+          account t msg;
+          inject t deliver msg ~latency:(draw_latency t lk);
+          if lk.Faults.duplicate_prob > 0.0 && Rng.bernoulli t.rng lk.Faults.duplicate_prob
+          then begin
+            Stats.incr t.stats "net.msg.duplicated";
+            inject t deliver msg ~latency:(draw_latency t lk)
+          end
+        end
 
 let in_flight t =
   Hashtbl.fold (fun id m acc -> (id, m) :: acc) t.in_flight []
@@ -198,3 +213,29 @@ let in_flight t =
   |> List.map snd
 
 let in_flight_count t = Hashtbl.length t.in_flight
+
+let pending t =
+  Hashtbl.fold (fun id m acc -> (id, m) :: acc) t.in_flight []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let take_pending t id =
+  match Hashtbl.find_opt t.in_flight id with
+  | None -> invalid_arg "Network: unknown pending envelope id"
+  | Some msg ->
+      Hashtbl.remove t.in_flight id;
+      msg
+
+let deliver_one t id =
+  let msg = take_pending t id in
+  let deliver =
+    match t.deliver with
+    | Some f -> f
+    | None -> invalid_arg "Network.deliver_one: no dispatch function installed"
+  in
+  Stats.incr t.stats "net.msg.delivered";
+  deliver msg
+
+let drop_one t id =
+  let msg = take_pending t id in
+  Stats.incr t.stats "net.msg.dropped";
+  Stats.incr t.stats ("net.msg.dropped." ^ Msg.kind msg.Msg.payload)

@@ -20,6 +20,13 @@
 
 open Adgc_algebra
 
+type delivery_mode =
+  | Timed  (** latency/loss drawn from the seeded RNG, delivery scheduled *)
+  | Manual
+      (** envelopes park in the in-flight set; an external scheduler
+          (the model checker) delivers or drops each one explicitly.
+          No RNG is consumed on the send path. *)
+
 type config = {
   mutable latency_min : int;
   mutable latency_max : int;  (** inclusive; must be [>= latency_min] *)
@@ -32,10 +39,11 @@ type config = {
       (** additionally record bytes per (src, dst) link under the
           labelled counter [net.bytes.link{dst,src}]; implied by
           cluster telemetry, off otherwise *)
+  mutable delivery : delivery_mode;
 }
 
 val default_config : unit -> config
-(** latency 5..25 ticks, no drops, no byte accounting. *)
+(** latency 5..25 ticks, no drops, no byte accounting, timed delivery. *)
 
 type t
 
@@ -72,3 +80,16 @@ val in_flight : t -> Msg.t list
     iterate deterministically. *)
 
 val in_flight_count : t -> int
+
+(** {2 Manual delivery} — only meaningful in {!Manual} mode. *)
+
+val pending : t -> (int * Msg.t) list
+(** Parked envelopes with their injection ids, sorted by id (send
+    order).  The id is the handle for [deliver_one] / [drop_one]. *)
+
+val deliver_one : t -> int -> unit
+(** Dispatch that parked envelope now.  Raises [Invalid_argument] on
+    an unknown id. *)
+
+val drop_one : t -> int -> unit
+(** Discard that parked envelope (counted as a network drop). *)

@@ -9,6 +9,8 @@ type t = {
   mutable alive : bool;
   mutable next_msg_seq : int;
   delivered : (int, unit) Hashtbl.t;
+  delivered_high : (int, int) Hashtbl.t;
+  delivered_floor : (int, int) Hashtbl.t;
   out_seqnos : (int, int) Hashtbl.t;
   mutable set_recipients : Proc_id.Set.t;
   mutable on_cdm : (Cdm.t -> unit) option;
@@ -28,6 +30,8 @@ let create ~id ~rng =
     alive = true;
     next_msg_seq = 0;
     delivered = Hashtbl.create 64;
+    delivered_high = Hashtbl.create 8;
+    delivered_floor = Hashtbl.create 8;
     out_seqnos = Hashtbl.create 8;
     set_recipients = Proc_id.Set.empty;
     on_cdm = None;
@@ -48,13 +52,60 @@ let delivery_key ~src ~seq = (Proc_id.to_int src lsl 44) lor seq
 let note_delivery t ~src ~seq =
   if seq < 0 then true
   else begin
-    let key = delivery_key ~src ~seq in
-    if Hashtbl.mem t.delivered key then false
+    let s = Proc_id.to_int src in
+    let below_floor =
+      match Hashtbl.find_opt t.delivered_floor s with Some f -> seq < f | None -> false
+    in
+    if below_floor then false
     else begin
-      Hashtbl.add t.delivered key ();
-      true
+      let key = delivery_key ~src ~seq in
+      if Hashtbl.mem t.delivered key then false
+      else begin
+        Hashtbl.add t.delivered key ();
+        (match Hashtbl.find_opt t.delivered_high s with
+        | Some hi when hi >= seq -> ()
+        | Some _ | None -> Hashtbl.replace t.delivered_high s seq);
+        true
+      end
     end
   end
+
+let delivered_count t = Hashtbl.length t.delivered
+
+(* The duplicate-suppression table only needs individual entries for
+   envelopes a stale copy of which could still arrive.  At a
+   quiescence point (restart) everything more than [slack] sequence
+   numbers behind a sender's high-water mark is summarised by a
+   per-sender floor instead: [note_delivery] refuses any sub-floor
+   sequence outright, which is sound because a never-delivered
+   envelope that old is indistinguishable from a network loss — and
+   every protocol already tolerates loss. *)
+let prune_delivered ?(slack = 64) t =
+  let removed = ref 0 in
+  Hashtbl.iter
+    (fun src hi ->
+      let floor = hi - slack in
+      if floor > 0 then
+        match Hashtbl.find_opt t.delivered_floor src with
+        | Some f when f >= floor -> ()
+        | Some _ | None -> Hashtbl.replace t.delivered_floor src floor)
+    t.delivered_high;
+  let stale =
+    Hashtbl.fold
+      (fun key () acc ->
+        let src = key lsr 44 in
+        let seq = key land ((1 lsl 44) - 1) in
+        match Hashtbl.find_opt t.delivered_floor src with
+        | Some floor when seq < floor -> key :: acc
+        | Some _ | None -> acc)
+      t.delivered []
+  in
+  List.iter
+    (fun key ->
+      Hashtbl.remove t.delivered key;
+      incr removed)
+    stale;
+  !removed
 
 let next_out_seqno t ~dst =
   let key = Proc_id.to_int dst in

@@ -22,6 +22,11 @@ type t = {
   delivered : (int, unit) Hashtbl.t;
       (** packed (sender, seq) pairs already processed — the receiver
           side of envelope-level duplicate suppression *)
+  delivered_high : (int, int) Hashtbl.t;
+      (** per-sender highest sequence number delivered so far *)
+  delivered_floor : (int, int) Hashtbl.t;
+      (** per-sender floor left by {!prune_delivered}: sequence
+          numbers below it are refused without a table lookup *)
   (* Reference-listing state *)
   out_seqnos : (int, int) Hashtbl.t;  (** next NewSetStubs seqno per destination *)
   mutable set_recipients : Proc_id.Set.t;
@@ -50,7 +55,21 @@ val next_msg_seq : t -> int
 val note_delivery : t -> src:Proc_id.t -> seq:int -> bool
 (** [true] on first delivery of that (sender, seq) envelope; [false]
     for a replay, which the dispatcher must ignore.  Unsequenced
-    envelopes ([seq < 0]) are always fresh. *)
+    envelopes ([seq < 0]) are always fresh.  Sequences below a floor
+    left by {!prune_delivered} are refused as stale. *)
+
+val delivered_count : t -> int
+(** Number of individual (sender, seq) entries currently retained. *)
+
+val prune_delivered : ?slack:int -> t -> int
+(** Truncate the duplicate-suppression table: for each sender, replace
+    every entry more than [slack] (default 64) sequence numbers behind
+    that sender's high-water mark with a per-sender floor.  Sub-floor
+    envelopes are subsequently refused outright — sound, because such
+    an envelope is indistinguishable from a loss, which every protocol
+    tolerates.  Returns the number of entries removed.  Called at
+    quiescence points ({!Cluster.restart}); long crash/restart runs
+    would otherwise grow the table without bound. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: heap size, stub/scion counts. *)

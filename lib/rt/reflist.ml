@@ -56,7 +56,13 @@ let export_ref rt ~(from_ : Process.t) ~to_ oid =
 let handle_export_notice rt ~(at : Process.t) ~src ~notice_id ~target ~new_holder =
   if Heap.mem at.Process.heap target then begin
     let key = Ref_key.make ~src:new_holder ~target in
-    if not (Scion_table.mem at.Process.scions key) then begin
+    (* Gauntlet mutant: acknowledge the notice without recording the
+       scion — the exporter unpins while the new holder's reference is
+       unprotected at the owner. *)
+    if
+      (not (Scion_table.mem at.Process.scions key))
+      && not (Adgc_util.Mc_mutate.enabled "ack_before_delivery")
+    then begin
       ignore (Scion_table.ensure at.Process.scions ~now:(Runtime.now rt) key : Scion_table.entry);
       Stats.incr rt.Runtime.stats "dgc.scions.created"
     end
@@ -88,6 +94,10 @@ let send_set_to rt (p : Process.t) ~dst ~targets =
   let seqno = Process.next_out_seqno p ~dst in
   Stats.incr rt.Runtime.stats "reflist.sets_sent";
   Runtime.send_dgc rt ~src:p.Process.id ~dst (Msg.New_set_stubs { seqno; targets })
+
+let would_advertise (p : Process.t) =
+  Stub_table.advertised p.Process.stubs <> []
+  || not (Proc_id.Set.is_empty p.Process.set_recipients)
 
 let send_new_sets rt (p : Process.t) =
   let groups = stub_groups p in

@@ -40,6 +40,12 @@ val handle_export_notice :
 
 val handle_export_ack : Runtime.t -> at:Process.t -> notice_id:int -> unit
 
+val would_advertise : Process.t -> bool
+(** [send_new_sets] would emit at least one message: the process has
+    stubs to list, or last-round recipients owed a (possibly empty)
+    retraction set.  When false a round is a pure no-op — every fresh
+    mark is already clear. *)
+
 val send_new_sets : Runtime.t -> Process.t -> unit
 (** One advertisement round: send each owner the set of its objects
     this process still references (plus one trailing set to owners

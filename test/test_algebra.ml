@@ -445,6 +445,150 @@ let prop_sval_roundtrip =
          | Some alg' -> Algebra.equal alg alg'
          | None -> false))
 
+(* ------------------------------------------------------------------ *)
+(* Algebra laws (pinned as properties, not examples) *)
+
+let dedup_entries l =
+  List.fold_left
+    (fun acc (k, ic) -> if List.mem_assoc k acc then acc else (k, ic) :: acc)
+    [] l
+
+let gen_alg =
+  QCheck2.Gen.map
+    (fun (src, tgt) -> alg_of (dedup_entries src) (dedup_entries tgt))
+    QCheck2.Gen.(pair gen_entries gen_entries)
+
+(* Two union results agree when both are defined with equal algebras
+   or both are conflicts (the conflicting key may legitimately differ
+   between evaluation orders). *)
+let union_agrees l r =
+  match (l, r) with
+  | Ok a, Ok b -> Algebra.equal a b
+  | Error _, Error _ -> true
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+let prop_union_commutative =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"union is commutative" ~count:500
+       QCheck2.Gen.(pair gen_alg gen_alg)
+       (fun (a, b) -> union_agrees (Algebra.union a b) (Algebra.union b a)))
+
+let prop_union_associative =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"union is associative" ~count:500
+       QCheck2.Gen.(triple gen_alg gen_alg gen_alg)
+       (fun (a, b, c) ->
+         let l = Result.bind (Algebra.union a b) (fun ab -> Algebra.union ab c) in
+         let r = Result.bind (Algebra.union b c) (fun bc -> Algebra.union a bc) in
+         union_agrees l r))
+
+let prop_union_idempotent =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"union is idempotent" ~count:500 gen_alg (fun a ->
+         match Algebra.union a a with Ok a' -> Algebra.equal a a' | Error _ -> false))
+
+let prop_union_absorbs_add =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"union agrees with entry-wise add" ~count:500
+       QCheck2.Gen.(pair gen_alg gen_alg)
+       (fun (a, b) ->
+         (* Folding b's entries into a with [add] computes the same
+            union, including whether a conflict arises. *)
+         let fold side entries acc =
+           List.fold_left
+             (fun acc (key, ic) ->
+               Result.bind acc (fun t ->
+                   match Algebra.add t side key ~ic with
+                   | Algebra.Added t -> Ok t
+                   | Algebra.Ic_conflict { key; _ } -> Error (side, key)))
+             acc entries
+         in
+         union_agrees (Algebra.union a b)
+           (fold Algebra.Source (Algebra.source b) (Ok a)
+           |> fold Algebra.Target (Algebra.target b))))
+
+(* Matching is monotone under IC increments: bumping the counter of a
+   single-side entry never changes the match partition (same
+   unresolved and frontier keys), while bumping one side of a
+   cancelling pair always turns the match into an abort — a remote
+   invocation between snapshots can only make the verdict stricter,
+   never conjure a cycle. *)
+let bump_side side alg key delta =
+  let entries s = if s = side then
+      List.map (fun (k, ic) -> if Ref_key.equal k key then (k, ic + delta) else (k, ic))
+    else Fun.id
+  in
+  alg_of (entries Algebra.Source (Algebra.source alg)) (entries Algebra.Target (Algebra.target alg))
+
+let prop_matching_monotone_single_side =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"matching ignores IC bumps on single-side entries" ~count:500
+       QCheck2.Gen.(triple gen_alg (int_range 0 20) (int_range 1 3))
+       (fun (alg, pick, delta) ->
+         let singles =
+           List.filter (fun (k, _) -> not (Algebra.mem alg Algebra.Target k)) (Algebra.source alg)
+           |> List.map (fun (k, _) -> (Algebra.Source, k))
+         in
+         let singles =
+           singles
+           @ (List.filter (fun (k, _) -> not (Algebra.mem alg Algebra.Source k)) (Algebra.target alg)
+             |> List.map (fun (k, _) -> (Algebra.Target, k)))
+         in
+         match singles with
+         | [] -> true
+         | _ -> (
+             let side, key = List.nth singles (pick mod List.length singles) in
+             let bumped = bump_side side alg key delta in
+             match (Algebra.matching alg, Algebra.matching bumped) with
+             | ( Algebra.Match { unresolved = u; frontier = f },
+                 Algebra.Match { unresolved = u'; frontier = f' } ) ->
+                 keys u = keys u' && keys f = keys f'
+             | Algebra.Ic_abort _, Algebra.Ic_abort _ -> true
+             | Algebra.Match _, Algebra.Ic_abort _ | Algebra.Ic_abort _, Algebra.Match _ ->
+                 false)))
+
+let prop_matching_aborts_on_bumped_pair =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"matching aborts when a cancelled pair's IC is bumped" ~count:500
+       QCheck2.Gen.(triple gen_alg (int_range 0 20) (int_range 1 3))
+       (fun (alg, pick, delta) ->
+         match Algebra.matching alg with
+         | Algebra.Ic_abort _ -> true (* already aborting; bumps cannot help *)
+         | Algebra.Match _ -> (
+             let cancelled =
+               List.filter
+                 (fun (k, ic) -> Algebra.ic alg Algebra.Target k = Some ic)
+                 (Algebra.source alg)
+             in
+             match cancelled with
+             | [] -> true
+             | _ -> (
+                 let key, _ = List.nth cancelled (pick mod List.length cancelled) in
+                 match Algebra.matching (bump_side Algebra.Source alg key delta) with
+                 | Algebra.Ic_abort _ -> true
+                 | Algebra.Match _ -> false))))
+
+let gen_detection_id =
+  QCheck2.Gen.map
+    (fun (p, seq) -> Detection_id.make ~initiator:(Proc_id.of_int p) ~seq)
+    QCheck2.Gen.(pair (int_range 0 4) (int_range 0 4))
+
+let prop_detection_id_order_and_hash =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"Detection_id order is total and consistent with hash" ~count:500
+       QCheck2.Gen.(triple gen_detection_id gen_detection_id gen_detection_id)
+       (fun (a, b, c) ->
+         let sgn x = compare x 0 in
+         (* antisymmetry *)
+         sgn (Detection_id.compare a b) = -sgn (Detection_id.compare b a)
+         (* transitivity *)
+         && (not (Detection_id.compare a b <= 0 && Detection_id.compare b c <= 0)
+            || Detection_id.compare a c <= 0)
+         (* equality agrees with the order *)
+         && Detection_id.equal a b = (Detection_id.compare a b = 0)
+         (* hash respects equality *)
+         && (not (Detection_id.equal a b) || Detection_id.hash a = Detection_id.hash b)))
+
 let suite =
   ( "algebra",
     [
@@ -477,4 +621,11 @@ let suite =
       prop_matching_partitions;
       prop_sval_roundtrip;
       prop_compact_roundtrip;
+      prop_union_commutative;
+      prop_union_associative;
+      prop_union_idempotent;
+      prop_union_absorbs_add;
+      prop_matching_monotone_single_side;
+      prop_matching_aborts_on_bumped_pair;
+      prop_detection_id_order_and_hash;
     ] )

@@ -22,4 +22,6 @@ let () =
       Test_sim.suite;
       Test_replay.suite;
       Test_schema.suite;
+      Test_mc.suite;
+      Test_oracle.suite;
     ]

@@ -1,0 +1,110 @@
+(* Oracle windowed-check boundaries: the sweep fires exactly on the
+   window edge (not a tick earlier), teardown mid-window still runs
+   the final sweep exactly once, and liveness checks converge on the
+   final permitted tick (the emptiness test precedes the bound). *)
+
+open Adgc_algebra
+open Adgc_rt
+module Oracle = Adgc_check.Oracle
+module Invariant = Adgc_check.Invariant
+
+let check = Alcotest.check
+
+(* Forge a scion whose target was never allocated: a persistent
+   [Scion_dangles] the instantaneous sweep reports every window. *)
+let forge_dangling_scion cluster =
+  let p0 = Cluster.proc cluster 0 in
+  let ghost = Oid.make ~owner:(Cluster.proc_id cluster 0) ~serial:777 in
+  let key = Ref_key.make ~src:(Cluster.proc_id cluster 1) ~target:ghost in
+  ignore (Scion_table.ensure p0.Process.scions ~now:(Cluster.now cluster) key : Scion_table.entry)
+
+let test_violation_at_window_edge () =
+  let cluster = Cluster.create ~n:2 () in
+  let oracle = Oracle.install ~window:100 cluster in
+  forge_dangling_scion cluster;
+  (* One tick short of the window: the violation exists but the sweep
+     has not run. *)
+  Cluster.run_for cluster 99;
+  check Alcotest.bool "silent one tick before the edge" true (Oracle.safe oracle);
+  Cluster.run_for cluster 1;
+  (match Oracle.events oracle with
+  | [ e ] ->
+      check Alcotest.int "recorded exactly on the edge" 100 e.Oracle.time;
+      check Alcotest.string "kind" "scion_dangles" (Invariant.kind e.Oracle.violation)
+  | es -> Alcotest.failf "expected one event at the edge, got %d" (List.length es));
+  (* A persistent violation is re-reported once per window, no more. *)
+  Cluster.run_for cluster 100;
+  check Alcotest.int "re-reported on the next edge" 2 (List.length (Oracle.events oracle));
+  check Alcotest.bool "first report captured" true (Oracle.first_report oracle <> None);
+  Cluster.teardown cluster
+
+let test_teardown_mid_window () =
+  let cluster = Cluster.create ~n:2 () in
+  let oracle = Oracle.install ~window:1_000 cluster in
+  forge_dangling_scion cluster;
+  (* Tear down mid-window: the recurring sweep never fired, so only
+     [stop]'s final sweep can catch the violation. *)
+  Cluster.run_for cluster 300;
+  check Alcotest.bool "sweep has not fired yet" true (Oracle.safe oracle);
+  Cluster.teardown cluster;
+  check Alcotest.bool "stopped by teardown" true (Oracle.stopped oracle);
+  (match Oracle.events oracle with
+  | [ e ] -> check Alcotest.int "final sweep at teardown time" 300 e.Oracle.time
+  | es -> Alcotest.failf "expected the one final-sweep event, got %d" (List.length es));
+  (* Idempotent: neither an explicit [stop] nor more scheduler time
+     runs a second final sweep. *)
+  Oracle.stop oracle;
+  Cluster.run_for cluster 5_000;
+  check Alcotest.int "final sweep ran exactly once" 1 (List.length (Oracle.events oracle))
+
+(* Liveness from quiescence.  [run] is under test control: the lone
+   garbage object disappears during the second step, so convergence
+   lands exactly on [max_ticks]. *)
+let quiescent_garbage () =
+  let cluster = Cluster.create ~n:1 () in
+  let oracle = Oracle.install cluster in
+  let p0 = Cluster.proc cluster 0 in
+  let obj = Heap.alloc p0.Process.heap in
+  check Alcotest.bool "unrooted object is ground-truth garbage" true
+    (Oid.Set.mem obj.Heap.oid (Cluster.garbage cluster));
+  let calls = ref 0 in
+  let run _step =
+    incr calls;
+    if !calls = 2 then Heap.remove p0.Process.heap obj.Heap.oid
+  in
+  (cluster, oracle, run)
+
+let test_liveness_converges_on_final_tick () =
+  let cluster, oracle, run = quiescent_garbage () in
+  (* Reclamation completes at spent = 200 = max_ticks; the residual
+     emptiness check precedes the bound check, so this is Converged,
+     not Stuck. *)
+  (match Oracle.check_liveness ~step:100 ~max_ticks:200 oracle ~run with
+  | Oracle.Converged { ticks; reclaimed } ->
+      check Alcotest.int "converged exactly at the bound" 200 ticks;
+      check Alcotest.int "everything captured was reclaimed" 1 reclaimed
+  | Oracle.Stuck _ as l -> Alcotest.failf "final-tick convergence misread as %a" Oracle.pp_liveness l);
+  Cluster.teardown cluster
+
+let test_liveness_stuck_one_step_short () =
+  let cluster, oracle, run = quiescent_garbage () in
+  (* Same run schedule, bound one step smaller: the second step never
+     executes and the object survives. *)
+  (match Oracle.check_liveness ~step:100 ~max_ticks:100 oracle ~run with
+  | Oracle.Stuck { remaining; after } ->
+      check Alcotest.int "gave up at the bound" 100 after;
+      check Alcotest.int "the object remains" 1 (Oid.Set.cardinal remaining)
+  | Oracle.Converged _ -> Alcotest.fail "converged without the reclaiming step");
+  Cluster.teardown cluster
+
+let suite =
+  ( "oracle",
+    [
+      Alcotest.test_case "sweep fires exactly on the window edge" `Quick
+        test_violation_at_window_edge;
+      Alcotest.test_case "teardown mid-window runs one final sweep" `Quick
+        test_teardown_mid_window;
+      Alcotest.test_case "liveness converges on the final tick" `Quick
+        test_liveness_converges_on_final_tick;
+      Alcotest.test_case "liveness stuck one step short" `Quick test_liveness_stuck_one_step_short;
+    ] )
