@@ -46,9 +46,7 @@ let run_rmi_batch ~dgc ~calls =
   let net_config = Network.default_config () in
   net_config.Network.latency_min <- 1;
   net_config.Network.latency_max <- 1;
-  let config = Runtime.default_config () in
-  config.Runtime.dgc_enabled <- dgc;
-  config.Runtime.rmi_marshal <- true;
+  let config = { (Runtime.default_config ()) with Runtime.dgc_enabled = dgc; rmi_marshal = true } in
   let cluster = Cluster.create ~config ~net_config ~n:2 () in
   let caller = Mutator.alloc cluster ~proc:0 () in
   let callee = Mutator.alloc cluster ~proc:1 () in
@@ -329,10 +327,14 @@ let bench_deletion_modes () =
 (* E12: Hughes timestamp GC vs the DCDA.                               *)
 
 let hughes_scenario ~crash_one =
-  let config = Runtime.default_config () in
-  config.Runtime.lgc_period <- 300;
-  config.Runtime.new_set_period <- 350;
-  config.Runtime.scion_grace <- 3_000;
+  let config =
+    {
+      (Runtime.default_config ()) with
+      Runtime.lgc_period = 300;
+      new_set_period = 350;
+      scion_grace = 3_000;
+    }
+  in
   let cluster = Cluster.create ~config ~n:4 () in
   Cluster.start_gc cluster;
   let hughes = Adgc_baseline.Hughes.install ~round_period:200 cluster in
@@ -539,13 +541,13 @@ let bench_leases () =
      scion when the lease runs out; the reference-listing DGC keeps it
      (probes + unbounded protection) and never kills a live object. *)
   let run ~lease ~outage =
-    let config = Runtime.default_config () in
-    config.Runtime.lgc_period <- 300;
-    config.Runtime.new_set_period <- 350;
-    if lease then begin
-      config.Runtime.failure_detection <- true;
-      config.Runtime.holder_silence_limit <- 5_000
-    end;
+    let config =
+      { (Runtime.default_config ()) with Runtime.lgc_period = 300; new_set_period = 350 }
+    in
+    let config =
+      if lease then { config with Runtime.failure_detection = true; holder_silence_limit = 5_000 }
+      else config
+    in
     let cluster = Cluster.create ~config ~n:2 () in
     let checker = Adgc_workload.Metrics.install_safety_checker cluster in
     let holder = Mutator.alloc cluster ~proc:0 () in
@@ -870,9 +872,9 @@ let batching_round ~batching =
   net_config.Network.account_bytes <- true;
   net_config.Network.latency_min <- 1;
   net_config.Network.latency_max <- 1;
-  let config = Runtime.default_config () in
-  config.Runtime.dgc_batching <- batching;
-  config.Runtime.dgc_batch_window <- 5;
+  let config =
+    { (Runtime.default_config ()) with Runtime.dgc_batching = batching; dgc_batch_window = 5 }
+  in
   let cluster = Cluster.create ~config ~net_config ~n () in
   for p = 0 to n - 1 do
     for q = 0 to n - 1 do
@@ -967,6 +969,31 @@ let bench_tracer () =
        plain_msgs plain_bytes batched_msgs batched_bytes payloads flushes
        (100.0 *. (1.0 -. (float_of_int batched_msgs /. float_of_int plain_msgs))));
   Buffer.add_string buf "}\n";
+  (* Clean-poll staleness guard: run a full collection to quiescence
+     and count how many ground-truth traces the signature check saved
+     versus a guardless poll-every-step loop. *)
+  let sim = Sim.create ~config:(Config.quick ~seed:31 ~n_procs:8 ()) () in
+  let cluster2 = Sim.cluster sim in
+  let _ = Topology.ring cluster2 ~procs:[ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  Sim.start sim;
+  let clean = Sim.run_until_clean ~step:100 ~max_time:300_000 sim in
+  let traces = Stats.get (Sim.stats sim) "sim.clean_checks" in
+  let skips = Stats.get (Sim.stats sim) "sim.clean_checks.skipped" in
+  Sim.teardown sim;
+  let saved_pct = 100.0 *. float_of_int skips /. float_of_int (Int.max 1 (traces + skips)) in
+  Printf.printf
+    "clean-poll staleness guard (8-proc ring to quiescence%s):\n\
+    \  %d ground-truth traces computed, %d quiet polls skipped (%.0f%% saved)\n"
+    (if clean then "" else ", BUDGET EXHAUSTED")
+    traces skips saved_pct;
+  Buffer.truncate buf (Buffer.length buf - 2);
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\n\
+       \  \"clean_poll\": {\"traces_computed\": %d, \"polls_skipped\": %d, \
+        \"saved_pct\": %.1f}\n"
+       traces skips saved_pct);
+  Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_1.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -1047,6 +1074,92 @@ let bench_telemetry () =
   print_endline "wrote OBS_1.json"
 
 (* ------------------------------------------------------------------ *)
+(* Engine: the domain-parallel execution engine vs the sequential one
+   on the process-local bulk phases (snapshot summarization + CDM
+   scans), with the byte-equality contract checked on every run
+   (BENCH_2.json).
+
+   Numbers are honest about the substrate: the JSON records the host's
+   core count and the worker-domain count, and on a single-core host
+   (this repo's usual CI container) the parallel engine can only lose
+   — the point of the run there is the equality assertion, not the
+   speedup.  Set ADGC_POOL_DOMAINS to choose the worker count. *)
+
+let engine_run ~engine ~procs ~objects ~seed ~reps =
+  let config = { (Config.quick ~seed ~n_procs:procs ()) with Config.engine } in
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+  let rng = Adgc_util.Rng.create (seed + 1) in
+  let _built =
+    Topology.random cluster ~rng ~objects ~edges:(2 * objects) ~remote_prob:0.05
+      ~root_prob:0.02
+  in
+  let round () =
+    Sim.snapshot_all sim;
+    ignore (Sim.scan_all sim : int)
+  in
+  let ms = time_reps ~reps round in
+  Sim.teardown sim;
+  let metrics = Adgc_util.Json.to_string (Adgc_obs.Export.metrics_document (Sim.stats sim)) in
+  let spans = Adgc_obs.Export.span_digest (Sim.obs sim) in
+  (ms, metrics, spans)
+
+let bench_engine () =
+  section "E22: execution engines — sequential vs domain-parallel bulk phases";
+  let procs, objects = if smoke () then (8, 4_000) else (64, 100_000) in
+  let reps = if smoke () then 3 else 5 in
+  let seed = 23 in
+  let seq_ms, seq_metrics, seq_spans =
+    engine_run ~engine:Config.Seq ~procs ~objects ~seed ~reps
+  in
+  let par_ms, par_metrics, par_spans =
+    engine_run ~engine:Config.Par ~procs ~objects ~seed ~reps
+  in
+  let workers = Adgc_util.Pool.size (Adgc_util.Pool.shared ()) - 1 in
+  Adgc_util.Pool.shutdown_shared ();
+  let cores = Domain.recommended_domain_count () in
+  let metrics_match = seq_metrics = par_metrics in
+  let spans_match = seq_spans = par_spans in
+  Table.print
+    ~header:[ "engine"; "snapshot+scan round"; "speedup" ]
+    ~rows:
+      [
+        [ "seq"; Printf.sprintf "%.2f ms" seq_ms; "1.00x" ];
+        [ "par"; Printf.sprintf "%.2f ms" par_ms; Printf.sprintf "%.2fx" (seq_ms /. par_ms) ];
+      ]
+    ();
+  Printf.printf
+    "%d procs, %d objects; host: %d core%s, %d worker domain%s\n\
+     byte-equality: metrics %s, span digest %s\n"
+    procs objects cores
+    (if cores = 1 then "" else "s")
+    workers
+    (if workers = 1 then "" else "s")
+    (if metrics_match then "identical" else "DIFFER")
+    (if spans_match then "identical" else "DIFFER");
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"bench\": \"engine\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"smoke\": %b,\n" (smoke ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"procs\": %d,\n  \"objects\": %d,\n  \"reps\": %d,\n" procs objects reps);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host\": {\"cores\": %d, \"worker_domains\": %d},\n" cores workers);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"round_ms\": {\"seq\": %.3f, \"par\": %.3f, \"speedup\": %.3f},\n" seq_ms par_ms
+       (seq_ms /. par_ms));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"identical\": {\"metrics\": %b, \"span_digest\": %b}\n" metrics_match
+       spans_match);
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_2.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "wrote BENCH_2.json";
+  if not (metrics_match && spans_match) then
+    failwith "engine equivalence violated: par output differs from seq"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1065,6 +1178,7 @@ let sections =
     ("dense", bench_dense);
     ("tracer", bench_tracer);
     ("telemetry", bench_telemetry);
+    ("engine", bench_engine);
     ("micro", bench_micro);
   ]
 

@@ -1,5 +1,23 @@
 type detector_kind = Dcda | Backtrack | Hughes_gc | No_detector
 
+type engine_kind = Seq | Par
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "seq" | "sequential" -> Some Seq
+  | "par" | "parallel" -> Some Par
+  | _ -> None
+
+let engine_to_string = function Seq -> "seq" | Par -> "par"
+
+(* The CI engine matrix steers whole test binaries through the
+   environment; anything not recognised falls back to sequential so a
+   typo degrades to the reference engine rather than crashing. *)
+let engine_of_env () =
+  match Sys.getenv_opt "ADGC_ENGINE" with
+  | Some s -> ( match engine_of_string s with Some e -> e | None -> Seq)
+  | None -> Seq
+
 type t = {
   seed : int;
   n_procs : int;
@@ -14,6 +32,7 @@ type t = {
   bt_timeout : int;
   bt_idle_threshold : int;
   telemetry : bool;
+  engine : engine_kind;
 }
 
 let default ?(seed = 42) ?(n_procs = 4) () =
@@ -31,15 +50,20 @@ let default ?(seed = 42) ?(n_procs = 4) () =
     bt_timeout = 50_000;
     bt_idle_threshold = 2_000;
     telemetry = false;
+    engine = engine_of_env ();
   }
 
 let quick ?(seed = 42) ?(n_procs = 4) () =
   let t = default ~seed ~n_procs () in
-  let runtime = t.runtime in
-  runtime.Adgc_rt.Runtime.lgc_period <- 300;
-  runtime.Adgc_rt.Runtime.new_set_period <- 350;
-  runtime.Adgc_rt.Runtime.scion_grace <- 3_000;
-  { t with policy = Adgc_dcda.Policy.aggressive; bt_idle_threshold = 200 }
+  let runtime =
+    {
+      t.runtime with
+      Adgc_rt.Runtime.lgc_period = 300;
+      new_set_period = 350;
+      scion_grace = 3_000;
+    }
+  in
+  { t with runtime; policy = Adgc_dcda.Policy.aggressive; bt_idle_threshold = 200 }
 
 (* The model checker runs the system time-frozen: nothing periodic
    ever fires (the checker calls the duties explicitly), the network
@@ -48,9 +72,9 @@ let quick ?(seed = 42) ?(n_procs = 4) () =
    choice sequence that produced it. *)
 let mc ?(seed = 0) ?(n_procs = 2) () =
   let t = default ~seed ~n_procs () in
-  let runtime = t.runtime in
-  runtime.Adgc_rt.Runtime.scion_grace <- 0;
-  runtime.Adgc_rt.Runtime.failure_detection <- false;
+  let runtime =
+    { t.runtime with Adgc_rt.Runtime.scion_grace = 0; failure_detection = false }
+  in
   let net = t.net in
   net.Adgc_rt.Network.delivery <- Adgc_rt.Network.Manual;
   let policy =
@@ -66,4 +90,4 @@ let mc ?(seed = 0) ?(n_procs = 2) () =
       early_ic_check = false;
     }
   in
-  { t with policy; summarize = Adgc_snapshot.Summarize.Naive }
+  { t with runtime; policy; summarize = Adgc_snapshot.Summarize.Naive }

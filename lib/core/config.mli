@@ -6,6 +6,28 @@ type detector_kind =
   | Hughes_gc  (** the timestamp-propagation baseline (starts with {!Sim.start}) *)
   | No_detector  (** acyclic DGC only (distributed cycles leak) *)
 
+type engine_kind =
+  | Seq  (** the reference engine: plain sequential execution *)
+  | Par
+      (** domain-parallel engine: process-local phases of bulk
+          operations (heap tracing, snapshot summarization, scan
+          evaluation) run on a small domain pool, effects are applied
+          at a barrier in canonical process order — observationally
+          identical to [Seq] (same metrics document, same span
+          digest), just faster on multicore hosts *)
+
+val engine_of_string : string -> engine_kind option
+(** Accepts ["seq"]/["sequential"] and ["par"]/["parallel"], case- and
+    whitespace-insensitively. *)
+
+val engine_to_string : engine_kind -> string
+
+val engine_of_env : unit -> engine_kind
+(** Engine selected by the [ADGC_ENGINE] environment variable ([Seq]
+    when unset or unrecognised).  {!default} uses this, so the CI
+    engine matrix can steer whole test binaries without touching
+    code. *)
+
 type t = {
   seed : int;
   n_procs : int;
@@ -26,6 +48,10 @@ type t = {
   telemetry : bool;
       (** enable structured spans and detection lineage (see
           {!Adgc_obs}); default off — every hook is then one branch *)
+  engine : engine_kind;
+      (** execution engine for the bulk per-process operations driven
+          by {!Sim} (default: {!engine_of_env}, i.e. [Seq] unless
+          [ADGC_ENGINE] says otherwise) *)
 }
 
 val default : ?seed:int -> ?n_procs:int -> unit -> t

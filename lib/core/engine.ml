@@ -1,0 +1,39 @@
+module type S = sig
+  val name : string
+
+  val round : n:int -> prepare:(int -> 'a) -> commit:(int -> 'a -> unit) -> unit
+end
+
+module Seq : S = struct
+  let name = "seq"
+
+  (* The reference semantics: process i's effects are fully applied
+     before process i+1's pure phase runs.  Everything the parallel
+     engine produces is judged against this interleaving. *)
+  let round ~n ~prepare ~commit =
+    for i = 0 to n - 1 do
+      commit i (prepare i)
+    done
+end
+
+module Par : S = struct
+  let name = "par"
+
+  let round ~n ~prepare ~commit =
+    if n <= 1 then Seq.round ~n ~prepare ~commit
+    else begin
+      let results = Array.make n None in
+      (* Distinct indices, pointer-sized writes: no two domains touch
+         the same slot. *)
+      Adgc_util.Pool.run (Adgc_util.Pool.shared ()) ~n (fun i -> results.(i) <- Some (prepare i));
+      for i = 0 to n - 1 do
+        match results.(i) with
+        | Some r -> commit i r
+        | None -> assert false
+      done
+    end
+end
+
+let of_kind : Config.engine_kind -> (module S) = function
+  | Config.Seq -> (module Seq)
+  | Config.Par -> (module Par)

@@ -1,0 +1,36 @@
+(** Pluggable execution engines for the bulk per-process phases.
+
+    After the kernel refactor, every bulk operation the simulator runs
+    over all processes (snapshot summarization, detector scans, local
+    collections) is expressed as a {e round}: a pure per-process
+    [prepare] that reads only process [i]'s state, followed by a
+    [commit] that applies its effects (messages, stats, spans, heap
+    mutation) in canonical ascending process order.
+
+    Determinism argument: [prepare i] never reads state another
+    process's commit can change before the barrier (heaps, stub/scion
+    tables, per-process rngs and detector tables are all owned by one
+    process; shared sinks — stats, spans, the network, the snapshot
+    store — are only touched by commits), and commits run in the same
+    order under both engines.  Hence {!Par} is observationally
+    identical to {!Seq}: same metrics document, same span digest, byte
+    for byte — the cross-engine replay test enforces exactly that. *)
+
+module type S = sig
+  val name : string
+
+  val round : n:int -> prepare:(int -> 'a) -> commit:(int -> 'a -> unit) -> unit
+  (** Run [commit i (prepare i)] for every [i] in [0, n), with all
+      commits in ascending [i] order. *)
+end
+
+module Seq : S
+(** Sequential reference engine: [commit i] runs immediately after
+    [prepare i], exactly the pre-refactor behaviour. *)
+
+module Par : S
+(** Domain-parallel engine: all prepares run concurrently on the
+    shared {!Adgc_util.Pool}, then commits are applied sequentially in
+    ascending process order at the barrier. *)
+
+val of_kind : Config.engine_kind -> (module S)

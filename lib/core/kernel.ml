@@ -1,0 +1,18 @@
+open Adgc_rt
+
+type ctx = {
+  rt : Runtime.t;
+  store : Adgc_snapshot.Snapshot_store.t;
+  scan_proc : int -> int;
+}
+
+type duty = Snapshot of int | Scan of int | Lgc of int | Send_sets of int
+
+let proc ctx i = ctx.rt.Runtime.procs.(i)
+
+let run_duty ctx = function
+  | Snapshot i ->
+      ignore (Adgc_snapshot.Snapshot_store.take ctx.store (proc ctx i) : Adgc_snapshot.Summary.t)
+  | Scan i -> ignore (ctx.scan_proc i : int)
+  | Lgc i -> ignore (Adgc_rt.Lgc.run ctx.rt (proc ctx i) : Adgc_rt.Lgc.report)
+  | Send_sets i -> Reflist.send_new_sets ctx.rt (proc ctx i)

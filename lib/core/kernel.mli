@@ -1,0 +1,33 @@
+(** The protocol kernel's duty steps.
+
+    A {e duty} is one voluntary protocol action of one process — take
+    a snapshot, scan for candidates, run the local collector, send
+    stub sets.  Together with message delivery ({!Adgc_rt.Dispatch})
+    these four transitions are the complete per-process protocol
+    kernel: everything else is scheduling.
+
+    Both drivers execute duties through this single definition: the
+    timed simulator's periodic timers ({!Sim.start},
+    {!Adgc_rt.Cluster.start_gc}) fire them on a clock, and the bounded
+    model checker ({!Adgc_mc.System}) fires them as explored actions —
+    so the two explore the {e same} transition system by
+    construction, with no second copy of any duty to drift. *)
+
+type ctx = {
+  rt : Adgc_rt.Runtime.t;
+  store : Adgc_snapshot.Snapshot_store.t;
+  scan_proc : int -> int;
+      (** run one candidate scan on process [i]'s detector, returning
+          detections started (supplied by the simulator, which owns
+          the detector instances) *)
+}
+(** Everything a duty needs; build one with {!Sim.kernel_ctx}. *)
+
+type duty = Snapshot of int | Scan of int | Lgc of int | Send_sets of int
+(** The process index each duty acts on. *)
+
+val run_duty : ctx -> duty -> unit
+(** Execute one duty synchronously (outbound messages go through the
+    normal network path).  No aliveness guard: callers decide whether
+    a dead process's timer simply skips (the simulator) or the duty is
+    not offered at all (the checker). *)

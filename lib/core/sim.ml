@@ -11,6 +11,7 @@ type detectors =
 
 type t = {
   config : Config.t;
+  engine : (module Engine.S);
   cluster : Cluster.t;
   store : Snapshot_store.t;
   detectors : detectors;
@@ -20,6 +21,7 @@ type t = {
 
 let create ?config () =
   let config = match config with Some c -> c | None -> Config.default () in
+  let engine = Engine.of_kind config.Config.engine in
   let cluster =
     Cluster.create ~seed:config.Config.seed ~config:config.Config.runtime
       ~net_config:config.Config.net ~faults:config.Config.faults
@@ -50,9 +52,13 @@ let create ?config () =
         Bt_instances arr
     | Config.Hughes_gc | Config.No_detector -> Nothing
   in
-  { config; cluster; store; detectors; hughes = None; handles = [] }
+  { config; engine; cluster; store; detectors; hughes = None; handles = [] }
 
 let config t = t.config
+
+let engine_name t =
+  let module E = (val t.engine) in
+  E.name
 
 let cluster t = t.cluster
 
@@ -80,7 +86,17 @@ let now t = Cluster.now t.cluster
 
 let run_for t delay = Cluster.run_for t.cluster delay
 
-let snapshot_all t = Snapshot_store.take_all t.store
+(* The bulk operations below are engine rounds: a pure per-process
+   prepare (parallel under Engine.Par) and effects committed in
+   ascending process order.  Under Engine.Seq each round is exactly
+   the pre-engine sequential loop. *)
+
+let snapshot_all t =
+  let module E = (val t.engine) in
+  let procs = (Cluster.rt t.cluster).Runtime.procs in
+  E.round ~n:(Array.length procs)
+    ~prepare:(fun i -> Snapshot_store.prepare t.store procs.(i))
+    ~commit:(fun _i pr -> ignore (Snapshot_store.commit t.store pr : Adgc_snapshot.Summary.t))
 
 let scan_one t i =
   match t.detectors with
@@ -88,10 +104,22 @@ let scan_one t i =
   | Bt_instances arr -> Backtrack.scan arr.(i) ~idle_threshold:t.config.Config.bt_idle_threshold
   | Nothing -> 0
 
+let kernel_ctx t =
+  { Kernel.rt = rt t; store = t.store; scan_proc = (fun i -> scan_one t i) }
+
 let scan_all t =
-  let n = Cluster.n_procs t.cluster in
-  let rec go i acc = if i >= n then acc else go (i + 1) (acc + scan_one t i) in
-  go 0 0
+  match t.detectors with
+  | Dcda_instances arr ->
+      let module E = (val t.engine) in
+      let total = ref 0 in
+      E.round ~n:(Array.length arr)
+        ~prepare:(fun i -> Detector.scan_prepare arr.(i))
+        ~commit:(fun i picked -> total := !total + Detector.scan_commit arr.(i) picked);
+      !total
+  | Bt_instances _ | Nothing ->
+      let n = Cluster.n_procs t.cluster in
+      let rec go i acc = if i >= n then acc else go (i + 1) (acc + scan_one t i) in
+      go 0 0
 
 let start t =
   if t.handles = [] then begin
@@ -103,18 +131,18 @@ let start t =
     let n = Cluster.n_procs t.cluster in
     let policy = t.config.Config.policy in
     let handles = ref [] in
+    let ctx = kernel_ctx t in
     for i = 0 to n - 1 do
       let p = Cluster.proc t.cluster i in
       let snap_period = policy.Adgc_dcda.Policy.snapshot_period in
       let scan_period = policy.Adgc_dcda.Policy.scan_period in
       let h1 =
         Scheduler.every sched ~phase:(1 + (i * snap_period / n)) ~period:snap_period (fun () ->
-            if p.Process.alive then
-              ignore (Snapshot_store.take t.store p : Adgc_snapshot.Summary.t))
+            if p.Process.alive then Kernel.run_duty ctx (Kernel.Snapshot i))
       in
       let h2 =
         Scheduler.every sched ~phase:(1 + (i * scan_period / n)) ~period:scan_period (fun () ->
-            if p.Process.alive then ignore (scan_one t i : int))
+            if p.Process.alive then Kernel.run_duty ctx (Kernel.Scan i))
       in
       handles := h1 :: h2 :: !handles
     done;
@@ -142,7 +170,11 @@ let lineage t = Cluster.lineage t.cluster
 let run_gc_cycle t =
   snapshot_all t;
   let rt = rt t in
-  Array.iter (fun p -> ignore (Lgc.run rt p : Lgc.report)) rt.Runtime.procs;
+  let module E = (val t.engine) in
+  E.round
+    ~n:(Array.length rt.Runtime.procs)
+    ~prepare:(fun i -> Lgc.plan rt rt.Runtime.procs.(i))
+    ~commit:(fun _i plan -> ignore (Lgc.apply rt plan : Lgc.report));
   Array.iter (fun p -> Reflist.send_new_sets rt p) rt.Runtime.procs
 
 let reports t =
@@ -158,9 +190,53 @@ let garbage_count t = Oid.Set.cardinal (Cluster.garbage t.cluster)
 
 let live_oids t = Cluster.globally_live t.cluster
 
+(* Staleness signature for [run_until_clean].  Ground-truth garbage is
+   a function of the heaps, the root sets, which processes are alive
+   and the live refs of in-flight reference-carrying messages — so if
+   none of those inputs moved between polls, neither did the answer.
+   We fold the inputs into one monotone counter: per-heap mutation
+   counters (every reachability-relevant heap change bumps one),
+   crash/restart counts (aliveness), and sent+delivered+dropped counts
+   for every ref-carrying message kind (each in-flight message bumps
+   "sent" on entering the window and exactly one of the other two on
+   leaving it, so any change to the in-flight set changes the sum). *)
+let ref_carrying_kinds = [ "rmi_request"; "rmi_reply"; "export_notice"; "export_ack"; "batch" ]
+
+let reach_signature t =
+  let rt = rt t in
+  let stats = Cluster.stats t.cluster in
+  let acc = ref 0 in
+  Array.iter (fun p -> acc := !acc + Heap.mutations p.Process.heap) rt.Runtime.procs;
+  acc := !acc + Adgc_util.Stats.get stats "cluster.crashes";
+  acc := !acc + Adgc_util.Stats.get stats "cluster.restarts";
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun ev -> acc := !acc + Adgc_util.Stats.get stats ("net.msg." ^ ev ^ "." ^ kind))
+        [ "sent"; "delivered"; "dropped" ])
+    ref_carrying_kinds;
+  !acc
+
 let run_until_clean ?(step = 1_000) ?(max_time = 2_000_000) t =
+  let stats = Cluster.stats t.cluster in
+  let last_sig = ref (-1) in
+  let last_count = ref max_int in
+  let current_garbage () =
+    let s = reach_signature t in
+    if s = !last_sig then begin
+      Adgc_util.Stats.incr stats "sim.clean_checks.skipped";
+      !last_count
+    end
+    else begin
+      Adgc_util.Stats.incr stats "sim.clean_checks";
+      let c = garbage_count t in
+      last_sig := s;
+      last_count := c;
+      c
+    end
+  in
   let rec go () =
-    if garbage_count t = 0 then true
+    if current_garbage () = 0 then true
     else if now t >= max_time then false
     else begin
       run_for t step;

@@ -13,6 +13,10 @@ val create : ?config:Config.t -> unit -> t
 
 val config : t -> Config.t
 
+val engine_name : t -> string
+(** ["seq"] or ["par"] — the engine the bulk operations run on (see
+    {!Engine}). *)
+
 val cluster : t -> Adgc_rt.Cluster.t
 
 val rt : t -> Adgc_rt.Runtime.t
@@ -22,6 +26,11 @@ val net : t -> Adgc_rt.Network.t
     {!Adgc_rt.Network.Manual} delivery mode. *)
 
 val store : t -> Adgc_snapshot.Snapshot_store.t
+
+val kernel_ctx : t -> Kernel.ctx
+(** The duty-execution context for this system: the simulator's own
+    periodic timers run through it, and so does the model checker —
+    one definition of every protocol duty (see {!Kernel}). *)
 
 val detector : t -> int -> Adgc_dcda.Detector.t
 (** @raise Invalid_argument unless the config selected [Dcda]. *)
@@ -54,16 +63,19 @@ val run_for : t -> int -> unit
 
 val snapshot_all : t -> unit
 (** Take a snapshot of every process right now (also happens
-    periodically once started). *)
+    periodically once started).  An {!Engine} round: summarization
+    runs per-process (parallel under [Par]), publication commits in
+    process order. *)
 
 val scan_all : t -> int
 (** Run one candidate scan on every detector; returns detections
-    started. *)
+    started.  An {!Engine} round when running the DCDA. *)
 
 val run_gc_cycle : t -> unit
 (** One manual synchronous round: snapshot everywhere, LGC everywhere,
     stub sets everywhere — useful in deterministic tests that do not
-    want the periodic timers. *)
+    want the periodic timers.  The snapshot and LGC phases are
+    {!Engine} rounds. *)
 
 (** {1 Results} *)
 
@@ -77,6 +89,13 @@ val garbage_count : t -> int
 val run_until_clean :
   ?step:int -> ?max_time:int -> t -> bool
 (** Keep running until ground-truth garbage reaches zero or the time
-    budget runs out; [true] on success.  Requires [start]ed timers. *)
+    budget runs out; [true] on success.  Requires [start]ed timers.
+
+    The ground-truth trace is recomputed only when a staleness
+    signature (heap mutation counters, crash/restart counts and the
+    message counters of every reference-carrying kind) shows the
+    answer could have changed; quiet polls are counted under the
+    ["sim.clean_checks.skipped"] stat, recomputations under
+    ["sim.clean_checks"]. *)
 
 val live_oids : t -> Oid.Set.t

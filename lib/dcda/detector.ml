@@ -415,9 +415,15 @@ let arrange t candidates =
       Adgc_util.Rng.shuffle t.proc.Process.rng arr;
       Array.to_list arr
 
-let scan t =
+(* Pure phase of a scan: evaluate the published summary against the
+   policy and pick this round's candidates.  Touches only this
+   detector's own state (tables, cursor, the per-process rng for
+   [Random_order]) — never the network, stats or another process —
+   so many detectors' scan_prepare may run concurrently under the
+   parallel engine. *)
+let scan_prepare t =
   match t.summary with
-  | None -> 0
+  | None -> []
   | Some summary ->
       let now = Runtime.now t.rt in
       let effective_cooldown key =
@@ -444,9 +450,16 @@ let scan t =
       (match List.rev picked with
       | last :: _ -> t.scan_cursor <- Some last.Summary.key
       | [] -> ());
-      List.fold_left
-        (fun acc (si : Summary.scion_info) -> if initiate t si.Summary.key then acc + 1 else acc)
-        0 picked
+      picked
+
+(* Effect phase: start a detection per picked candidate (CDM sends,
+   stats, lineage).  Canonical process order. *)
+let scan_commit t picked =
+  List.fold_left
+    (fun acc (si : Summary.scion_info) -> if initiate t si.Summary.key then acc + 1 else acc)
+    0 picked
+
+let scan t = scan_commit t (scan_prepare t)
 
 let attach rt proc ~policy =
   let t =

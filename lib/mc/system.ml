@@ -2,10 +2,12 @@ open Adgc_algebra
 open Adgc_rt
 module Sim = Adgc.Sim
 module Config = Adgc.Config
+module Kernel = Adgc.Kernel
 module Json = Adgc_util.Json
 
 type t = {
   sim : Sim.t;
+  kctx : Kernel.ctx;
   caps : Scenario.caps;
   inst : Scenario.instance;
   n_procs : int;
@@ -18,59 +20,15 @@ type t = {
   mutable sweep_violations : string list;
 }
 
-(* Ground truth for the checker: Cluster.globally_live, minus the
-   liveness an in-flight RMI reply's [target] field would inject.  The
-   reply target is never imported on delivery (only [results] are), so
-   a sweep racing the reply envelope is legitimate — counting it live
-   would make the exhaustive unmutated scope report a phantom
-   violation on every proven-dead cycle whose last invocation reply is
-   still in transit. *)
-let live_refined t =
-  let rt = Sim.rt t.sim in
-  let refs (m : Msg.t) =
-    match m.Msg.payload with
-    | Msg.Rmi_reply { results; _ } -> results
-    | p -> Msg.payload_refs p
-  in
-  let seeds =
-    Array.fold_left
-      (fun acc (p : Process.t) ->
-        if p.Process.alive then List.rev_append (Heap.roots p.Process.heap) acc else acc)
-      [] rt.Runtime.procs
-  in
-  let seeds =
-    List.fold_left
-      (fun acc m -> List.rev_append (refs m) acc)
-      seeds
-      (Network.in_flight (Sim.net t.sim))
-  in
-  let live = ref Oid.Set.empty in
-  let frontier = ref (List.fold_left (fun s o -> Oid.Set.add o s) Oid.Set.empty seeds) in
-  while not (Oid.Set.is_empty !frontier) do
-    let by_proc =
-      Oid.Set.fold
-        (fun oid acc ->
-          if Oid.Set.mem oid !live then acc
-          else
-            let owner = Proc_id.to_int (Oid.owner oid) in
-            let prev = match List.assoc_opt owner acc with Some l -> l | None -> [] in
-            (owner, oid :: prev) :: List.remove_assoc owner acc)
-        !frontier []
-    in
-    frontier := Oid.Set.empty;
-    List.iter
-      (fun (owner, oids) ->
-        let p = rt.Runtime.procs.(owner) in
-        if p.Process.alive then begin
-          let { Heap.local; remote } = Heap.trace p.Process.heap ~from:oids in
-          live := Oid.Set.union !live local;
-          Oid.Set.iter
-            (fun r -> if not (Oid.Set.mem r !live) then frontier := Oid.Set.add r !frontier)
-            remote
-        end)
-      by_proc
-  done;
-  !live
+(* Ground truth for the checker is the cluster's own tracer,
+   [Cluster.globally_live] — including its in-flight refinement (an
+   RMI reply's [target] is never imported on delivery, only its
+   [results] are, so a sweep racing the reply envelope is
+   legitimate).  The checker keeps no private copy: the simulator's
+   oracle, the metrics sampler and this checker all judge liveness
+   with the same function, so a refinement bug cannot hide in one
+   driver. *)
+let live_refined t = Cluster.globally_live (Sim.cluster t.sim)
 
 let create ?mutant ?caps (scenario : Scenario.t) =
   Adgc_util.Mc_mutate.set mutant;
@@ -82,6 +40,7 @@ let create ?mutant ?caps (scenario : Scenario.t) =
   let t =
     {
       sim;
+      kctx = Sim.kernel_ctx sim;
       caps;
       inst;
       n_procs = n;
@@ -193,10 +152,7 @@ let perform t (a : Action.t) =
       if p < 0 || p >= t.n_procs then Error "no such process"
       else if t.snaps.(p) >= t.caps.Scenario.snapshots then Error "snapshot cap reached"
       else begin
-        ignore
-          (Adgc_snapshot.Snapshot_store.take (Sim.store t.sim)
-             (Cluster.proc (Sim.cluster t.sim) p)
-            : Adgc_snapshot.Summary.t);
+        Kernel.run_duty t.kctx (Kernel.Snapshot p);
         t.snaps.(p) <- t.snaps.(p) + 1;
         Ok ()
       end
@@ -204,7 +160,7 @@ let perform t (a : Action.t) =
       if p < 0 || p >= t.n_procs then Error "no such process"
       else if t.scans.(p) >= t.caps.Scenario.scans then Error "scan cap reached"
       else begin
-        ignore (Adgc_dcda.Detector.scan (Sim.detector t.sim p) : int);
+        Kernel.run_duty t.kctx (Kernel.Scan p);
         t.scans.(p) <- t.scans.(p) + 1;
         Ok ()
       end
@@ -212,8 +168,7 @@ let perform t (a : Action.t) =
       if p < 0 || p >= t.n_procs then Error "no such process"
       else if t.lgcs.(p) >= t.caps.Scenario.lgcs then Error "lgc cap reached"
       else begin
-        let rt = Sim.rt t.sim in
-        ignore (Lgc.run rt (Cluster.proc (Sim.cluster t.sim) p) : Lgc.report);
+        Kernel.run_duty t.kctx (Kernel.Lgc p);
         t.lgcs.(p) <- t.lgcs.(p) + 1;
         Ok ()
       end
@@ -221,8 +176,7 @@ let perform t (a : Action.t) =
       if p < 0 || p >= t.n_procs then Error "no such process"
       else if t.sends.(p) >= t.caps.Scenario.sends then Error "send-sets cap reached"
       else begin
-        let rt = Sim.rt t.sim in
-        Reflist.send_new_sets rt (Cluster.proc (Sim.cluster t.sim) p);
+        Kernel.run_duty t.kctx (Kernel.Send_sets p);
         t.sends.(p) <- t.sends.(p) + 1;
         Ok ()
       end

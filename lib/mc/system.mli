@@ -43,9 +43,10 @@ val goal_reached : t -> bool
 (** The scenario's liveness goal, [false] when it has none. *)
 
 val live_refined : t -> Adgc_algebra.Oid.Set.t
-(** Ground truth used for violation checking: like
-    {!Adgc_rt.Cluster.globally_live}, except an in-flight RMI reply
-    contributes only its result references — its target field is
-    routing metadata that confers no reference on delivery. *)
+(** Ground truth used for violation checking — exactly
+    {!Adgc_rt.Cluster.globally_live}, which already refines in-flight
+    RMI replies down to their result references (the target field is
+    routing metadata that confers no reference on delivery).  The
+    checker keeps no private tracer. *)
 
 val sim : t -> Adgc.Sim.t

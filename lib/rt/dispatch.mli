@@ -1,0 +1,22 @@
+(** The kernel's delivery step: route one arriving envelope to the
+    receiving process's handler.
+
+    This is the single dispatch path in the whole system.  The timed
+    simulator reaches it through {!Network.set_deliver} (installed by
+    {!Cluster.create}), and the model checker reaches it through
+    {!Network.deliver_one} on a manual-delivery network — there is no
+    second copy of the routing logic anywhere, so the two can never
+    drift.
+
+    A delivery is a transition on the {e receiving} process's state
+    (plus, for RMI requests, a read of the caller's registered body —
+    the simulator's stand-in for code shipped with the request): the
+    handlers mutate [at]'s tables and emit outbound messages through
+    {!Runtime.send}; they never touch another process's protocol
+    state. *)
+
+val deliver : Runtime.t -> Msg.t -> unit
+(** Envelope acceptance (crash-stop filtering, duplicate suppression
+    via {!Process.note_delivery}) followed by payload dispatch.
+    [Batch] envelopes are unpacked in queueing order under a single
+    acceptance check. *)

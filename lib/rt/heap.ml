@@ -29,6 +29,7 @@ type t = {
   dirty : unit Oid.Tbl.t;
   mutable roots_dirty : bool;
   mutable generation : int; (* bumped whenever the object population changes *)
+  mutable mutations : int; (* bumped on every reachability-relevant change *)
   tracer : tracer;
 }
 
@@ -41,6 +42,7 @@ let create ~owner =
     dirty = Oid.Tbl.create 16;
     roots_dirty = false;
     generation = 0;
+    mutations = 0;
     tracer =
       {
         ids = Interner.create ();
@@ -70,12 +72,15 @@ let size t = Oid.Tbl.length t.objs
 
 let generation t = t.generation
 
+let mutations t = t.mutations
+
 let alloc ?(fields = 2) ?(payload = 16) t =
   let oid = Oid.make ~owner:t.owner ~serial:t.next_serial in
   t.next_serial <- t.next_serial + 1;
   let obj = { oid; fields = Array.make fields None; payload } in
   Oid.Tbl.add t.objs oid obj;
   t.generation <- t.generation + 1;
+  t.mutations <- t.mutations + 1;
   obj
 
 let get t oid = Oid.Tbl.find_opt t.objs oid
@@ -91,9 +96,11 @@ let set_field t obj i v =
   if i < 0 || i >= Array.length obj.fields then
     invalid_arg (Format.asprintf "Heap.set_field: slot %d out of range for %a" i Oid.pp obj.oid);
   obj.fields.(i) <- v;
+  t.mutations <- t.mutations + 1;
   mark_dirty t obj.oid
 
 let add_ref t obj oid =
+  t.mutations <- t.mutations + 1;
   mark_dirty t obj.oid;
   let n = Array.length obj.fields in
   let rec find_empty i = if i >= n then None else if obj.fields.(i) = None then Some i else find_empty (i + 1) in
@@ -109,6 +116,7 @@ let add_ref t obj oid =
       n
 
 let remove_ref t obj oid =
+  t.mutations <- t.mutations + 1;
   mark_dirty t obj.oid;
   let n = Array.length obj.fields in
   let rec go i =
@@ -125,17 +133,20 @@ let remove_ref t obj oid =
 let remove t oid =
   if Oid.Tbl.mem t.objs oid then begin
     Oid.Tbl.remove t.objs oid;
-    t.generation <- t.generation + 1
+    t.generation <- t.generation + 1;
+    t.mutations <- t.mutations + 1
   end
 
 let add_root t oid =
   if not (Proc_id.equal (Oid.owner oid) t.owner) then
     invalid_arg (Format.asprintf "Heap.add_root: %a is not local to %a" Oid.pp oid Proc_id.pp t.owner);
   Oid.Tbl.replace t.root_set oid ();
+  t.mutations <- t.mutations + 1;
   t.roots_dirty <- true
 
 let remove_root t oid =
   Oid.Tbl.remove t.root_set oid;
+  t.mutations <- t.mutations + 1;
   t.roots_dirty <- true
 
 let is_root t oid = Oid.Tbl.mem t.root_set oid

@@ -43,6 +43,14 @@ val generation : t -> int
     state — checks it to decide whether a resync is due.  Reference
     mutations do not bump it; they go through the dirty log. *)
 
+val mutations : t -> int
+(** Monotonic counter bumped by {e every} reachability-relevant change
+    to this heap: allocation, removal, field writes, reference edits
+    and root set changes.  An unchanged counter guarantees this heap
+    contributes the same reachability as last time —
+    {!Adgc.Sim.run_until_clean} folds it into its staleness signature
+    to skip redundant ground-truth traces. *)
+
 (** {1 Allocation and mutation} *)
 
 val alloc : ?fields:int -> ?payload:int -> t -> obj

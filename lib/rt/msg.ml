@@ -42,6 +42,17 @@ let rec payload_refs = function
   | Hughes _ -> []
   | Batch payloads -> List.concat_map payload_refs payloads
 
+(* Ground-truth view: what a delivery can actually import.  A reply's
+   [target] names the called object for bookkeeping but is never
+   imported at the caller (only [results] are), so a sweep racing the
+   reply envelope is legitimate — counting it live would report a
+   phantom violation on every proven-dead cycle whose last invocation
+   reply is still in transit. *)
+let rec live_refs = function
+  | Rmi_reply { results; _ } -> results
+  | Batch payloads -> List.concat_map live_refs payloads
+  | p -> payload_refs p
+
 let oid_sval (o : Oid.t) = Sval.List [ Sval.Int (Proc_id.to_int (Oid.owner o)); Sval.Int o.Oid.serial ]
 
 let ref_sval (k : Ref_key.t) =

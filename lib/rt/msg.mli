@@ -80,9 +80,17 @@ val kind : payload -> string
 (** Short tag for statistics counters ("rmi_request", "cdm", ...). *)
 
 val payload_refs : payload -> Oid.t list
-(** Object references carried by the payload — what an in-flight
-    message keeps reachable.  Used by the omniscient ground-truth
-    checker. *)
+(** Every object reference syntactically present in the payload
+    (wire-accounting view). *)
+
+val live_refs : payload -> Oid.t list
+(** Object references an in-flight message actually keeps reachable —
+    the refs its {e delivery} can import.  Differs from
+    {!payload_refs} in one place: an [Rmi_reply]'s [target] field is
+    never imported on delivery (only [results] are), so a reply racing
+    the collector does not pin the called object.  This is the single
+    ground-truth tracer seed set shared by {!Cluster.globally_live},
+    the safety oracle and the model checker. *)
 
 val to_sval : t -> Adgc_serial.Sval.t
 (** Wire representation used for byte accounting. *)

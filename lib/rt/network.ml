@@ -166,6 +166,7 @@ let inject t deliver (msg : Msg.t) ~latency =
   Scheduler.schedule_after t.sched ~delay:latency (fun () ->
       Hashtbl.remove t.in_flight id;
       Stats.incr t.stats "net.msg.delivered";
+      Stats.incr t.stats ("net.msg.delivered." ^ Msg.kind msg.payload);
       deliver msg)
 
 let send t (msg : Msg.t) =
@@ -233,6 +234,7 @@ let deliver_one t id =
     | None -> invalid_arg "Network.deliver_one: no dispatch function installed"
   in
   Stats.incr t.stats "net.msg.delivered";
+  Stats.incr t.stats ("net.msg.delivered." ^ Msg.kind msg.Msg.payload);
   deliver msg
 
 let drop_one t id =

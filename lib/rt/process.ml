@@ -1,6 +1,18 @@
 open Adgc_algebra
 
-type t = {
+type behavior = t -> target:Oid.t -> args:Oid.t list -> Oid.t list
+
+and pending_call = {
+  call_target : Oid.t;
+  pinned : Oid.t list;
+  on_reply : (Oid.t list -> unit) option;
+}
+
+and pending_notice = { notice_target : Oid.t; new_holder : Proc_id.t }
+
+and batch_queue = { mutable queued : Msg.payload list; opened_at : int }
+
+and t = {
   id : Proc_id.t;
   heap : Heap.t;
   stubs : Stub_table.t;
@@ -13,6 +25,18 @@ type t = {
   delivered_floor : (int, int) Hashtbl.t;
   out_seqnos : (int, int) Hashtbl.t;
   mutable set_recipients : Proc_id.Set.t;
+  (* Per-process protocol kernel state: every id this process mints
+     and every table it consults when handling a delivery is its own.
+     Nothing here is shared with any other process — a delivery or a
+     duty is a transition on one process's state plus outbound
+     messages, which is what lets an engine run the compute phases of
+     different processes on different domains. *)
+  mutable next_req_id : int;
+  mutable next_notice_id : int;
+  behaviors : (int, behavior) Hashtbl.t;
+  pending_calls : (int, pending_call) Hashtbl.t;
+  pending_notices : (int, pending_notice) Hashtbl.t;
+  pending_batches : (int, batch_queue) Hashtbl.t;
   mutable on_cdm : (Cdm.t -> unit) option;
   mutable on_cdm_delete : (Detection_id.t -> Ref_key.t list -> unit) option;
   mutable on_bt : (src:Proc_id.t -> Btmsg.t -> unit) option;
@@ -34,6 +58,12 @@ let create ~id ~rng =
     delivered_floor = Hashtbl.create 8;
     out_seqnos = Hashtbl.create 8;
     set_recipients = Proc_id.Set.empty;
+    next_req_id = 0;
+    next_notice_id = 0;
+    behaviors = Hashtbl.create 8;
+    pending_calls = Hashtbl.create 8;
+    pending_notices = Hashtbl.create 8;
+    pending_batches = Hashtbl.create 8;
     on_cdm = None;
     on_cdm_delete = None;
     on_bt = None;
@@ -45,6 +75,16 @@ let next_msg_seq t =
   let s = t.next_msg_seq in
   t.next_msg_seq <- s + 1;
   s
+
+let fresh_req_id t =
+  let id = t.next_req_id in
+  t.next_req_id <- id + 1;
+  id
+
+let fresh_notice_id t =
+  let id = t.next_notice_id in
+  t.next_notice_id <- id + 1;
+  id
 
 (* (sender, seq) packed into one int; seqs stay far below 2^44. *)
 let delivery_key ~src ~seq = (Proc_id.to_int src lsl 44) lor seq

@@ -1,14 +1,40 @@
 (** One participant of the distributed system.
 
-    A process bundles its heap, its DGC tables and the handler hooks
+    A process bundles its heap, its DGC tables, the handler hooks
     through which pluggable components (the cycle detector, the
-    back-tracing baseline) receive their traffic.  The protocol logic
+    back-tracing baseline) receive their traffic — and {e all} of its
+    protocol kernel state: the ids it mints, the RMI calls and export
+    handshakes it has in flight, the DGC batches it is coalescing.
+    Nothing protocol-related is shared between processes; handling a
+    delivery or running a duty is a transition on one process's state
+    plus outbound messages, mirroring the paper's
+    no-global-synchronization process model.  The protocol logic
     itself lives in {!Reflist}, {!Rmi} and {!Lgc}, driven through the
-    shared {!Runtime} context. *)
+    shared {!Runtime} context (scheduler, network, stats — the
+    engine shell, not protocol state). *)
 
 open Adgc_algebra
 
-type t = {
+type behavior = t -> target:Oid.t -> args:Oid.t list -> Oid.t list
+(** The body run at the callee: receives the callee process and the
+    imported argument references; returns the references to ship back
+    in the reply.  {!Rmi.call} wraps the user-facing
+    {!Runtime.behavior} (which also receives the runtime context)
+    into this form at registration time. *)
+
+and pending_call = {
+  call_target : Oid.t;
+  pinned : Oid.t list;  (** stubs pinned at the caller for this call *)
+  on_reply : (Oid.t list -> unit) option;
+}
+
+and pending_notice = { notice_target : Oid.t; new_holder : Proc_id.t }
+
+and batch_queue = { mutable queued : Msg.payload list; opened_at : int }
+(** Payloads (newest first) plus the tick the queue opened, so the
+    flush span covers the whole coalescing window. *)
+
+and t = {
   id : Proc_id.t;
   heap : Heap.t;
   stubs : Stub_table.t;
@@ -32,6 +58,20 @@ type t = {
   mutable set_recipients : Proc_id.Set.t;
       (** owners that received a non-empty stub set last round (they
           get one trailing, possibly empty, set) *)
+  (* Protocol kernel state, all per-process *)
+  mutable next_req_id : int;  (** next RMI request id minted by this caller *)
+  mutable next_notice_id : int;  (** next export-notice id minted by this exporter *)
+  behaviors : (int, behavior) Hashtbl.t;
+      (** pending RMI bodies this process registered as caller, by
+          request id (the callee fetches the body from the caller's
+          table — the simulator's stand-in for shipping code) *)
+  pending_calls : (int, pending_call) Hashtbl.t;  (** caller-side in-flight RMIs *)
+  pending_notices : (int, pending_notice) Hashtbl.t;
+      (** third-party export handshakes this process initiated,
+          awaiting acknowledgement *)
+  pending_batches : (int, batch_queue) Hashtbl.t;
+      (** DGC payloads queued per destination awaiting their batch
+          flush *)
   (* Detector hooks *)
   mutable on_cdm : (Cdm.t -> unit) option;
   mutable on_cdm_delete : (Detection_id.t -> Ref_key.t list -> unit) option;
@@ -51,6 +91,13 @@ val next_out_seqno : t -> dst:Proc_id.t -> int
 val next_msg_seq : t -> int
 (** Allocate the envelope sequence number for an outgoing message
     ({!Runtime.send} stamps it on every envelope). *)
+
+val fresh_req_id : t -> int
+(** Mint the next RMI request id.  Ids are unique per caller; the
+    wire pairs them with the caller's identity. *)
+
+val fresh_notice_id : t -> int
+(** Mint the next export-notice id (unique per exporter). *)
 
 val note_delivery : t -> src:Proc_id.t -> seq:int -> bool
 (** [true] on first delivery of that (sender, seq) envelope; [false]

@@ -8,21 +8,21 @@ let import_ref rt ~at oid =
     if not existed then Stats.incr rt.Runtime.stats "dgc.stubs.created"
   end
 
-let rec retry_notice rt ~notice_id =
-  match Hashtbl.find_opt rt.Runtime.pending_notices notice_id with
+let rec retry_notice rt ~(exporter : Process.t) ~notice_id =
+  match Hashtbl.find_opt exporter.Process.pending_notices notice_id with
   | None -> ()
   | Some pending ->
       Stats.incr rt.Runtime.stats "reflist.notice_retries";
-      Runtime.send rt ~src:pending.Runtime.exporter
-        ~dst:(Oid.owner pending.Runtime.notice_target)
+      Runtime.send rt ~src:exporter.Process.id
+        ~dst:(Oid.owner pending.Process.notice_target)
         (Msg.Export_notice
            {
              notice_id;
-             target = pending.Runtime.notice_target;
-             new_holder = pending.Runtime.new_holder;
+             target = pending.Process.notice_target;
+             new_holder = pending.Process.new_holder;
            });
       Scheduler.schedule_after rt.Runtime.sched ~delay:rt.Runtime.config.export_retry_delay
-        (fun () -> retry_notice rt ~notice_id)
+        (fun () -> retry_notice rt ~exporter ~notice_id)
 
 let export_ref rt ~(from_ : Process.t) ~to_ oid =
   let owner = Oid.owner oid in
@@ -43,14 +43,16 @@ let export_ref rt ~(from_ : Process.t) ~to_ oid =
         (Format.asprintf "Reflist.export_ref: %a exports %a without holding a stub" Proc_id.pp
            from_.Process.id Oid.pp oid);
     Stub_table.pin from_.Process.stubs ~now:(Runtime.now rt) oid;
-    let notice_id = Runtime.fresh_notice_id rt in
-    Hashtbl.replace rt.Runtime.pending_notices notice_id
-      { Runtime.exporter = from_.Process.id; notice_target = oid; new_holder = to_ };
+    (* Notice ids are minted per exporter; acks come back to the
+       exporter, which consults only its own table. *)
+    let notice_id = Process.fresh_notice_id from_ in
+    Hashtbl.replace from_.Process.pending_notices notice_id
+      { Process.notice_target = oid; new_holder = to_ };
     Stats.incr rt.Runtime.stats "reflist.notices_sent";
     Runtime.send rt ~src:from_.Process.id ~dst:owner
       (Msg.Export_notice { notice_id; target = oid; new_holder = to_ });
     Scheduler.schedule_after rt.Runtime.sched ~delay:rt.Runtime.config.export_retry_delay
-      (fun () -> retry_notice rt ~notice_id)
+      (fun () -> retry_notice rt ~exporter:from_ ~notice_id)
   end
 
 let handle_export_notice rt ~(at : Process.t) ~src ~notice_id ~target ~new_holder =
@@ -74,12 +76,12 @@ let handle_export_notice rt ~(at : Process.t) ~src ~notice_id ~target ~new_holde
   Runtime.send rt ~src:at.Process.id ~dst:src
     (Msg.Export_ack { notice_id; target; new_holder })
 
-let handle_export_ack rt ~(at : Process.t) ~notice_id =
-  match Hashtbl.find_opt rt.Runtime.pending_notices notice_id with
+let handle_export_ack _rt ~(at : Process.t) ~notice_id =
+  match Hashtbl.find_opt at.Process.pending_notices notice_id with
   | None -> () (* duplicate ack *)
   | Some pending ->
-      Hashtbl.remove rt.Runtime.pending_notices notice_id;
-      Stub_table.unpin at.Process.stubs pending.Runtime.notice_target
+      Hashtbl.remove at.Process.pending_notices notice_id;
+      Stub_table.unpin at.Process.stubs pending.Process.notice_target
 
 let stub_groups (p : Process.t) =
   List.fold_left

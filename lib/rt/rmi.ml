@@ -12,13 +12,14 @@ let marshal_work rt (msg : Msg.t) =
     ignore (Adgc_serial.Net_codec.decode encoded : Adgc_serial.Sval.t)
   end
 
-let release_pins rt req_id =
-  match Hashtbl.find_opt rt.Runtime.pending_calls req_id with
+(* Caller-side transition: the pending-call table and the pins are the
+   caller's own state. *)
+let release_pins (p : Process.t) req_id =
+  match Hashtbl.find_opt p.Process.pending_calls req_id with
   | None -> None
   | Some pending ->
-      Hashtbl.remove rt.Runtime.pending_calls req_id;
-      let p = Runtime.proc rt pending.Runtime.caller in
-      List.iter (Stub_table.unpin p.Process.stubs) pending.Runtime.pinned;
+      Hashtbl.remove p.Process.pending_calls req_id;
+      List.iter (Stub_table.unpin p.Process.stubs) pending.Process.pinned;
       Some pending
 
 let call rt ~src ~target ?(args = []) ?(behavior = noop_behavior) ?on_reply () =
@@ -39,16 +40,19 @@ let call rt ~src ~target ?(args = []) ?(behavior = noop_behavior) ?on_reply () =
   let pinned = if dgc then target :: remote_args else [] in
   List.iter (Stub_table.pin p.Process.stubs ~now) pinned;
   if dgc then List.iter (fun a -> Reflist.export_ref rt ~from_:p ~to_:(Oid.owner target) a) args;
-  let req_id = Runtime.fresh_req_id rt in
-  Hashtbl.replace rt.Runtime.behaviors req_id behavior;
-  Hashtbl.replace rt.Runtime.pending_calls req_id
-    { Runtime.caller = src; call_target = target; pinned; on_reply };
+  (* Request ids are minted per caller; the wire pairs them with the
+     caller's identity, so distinct callers reusing the same number
+     can never collide. *)
+  let req_id = Process.fresh_req_id p in
+  Hashtbl.replace p.Process.behaviors req_id (fun at ~target ~args -> behavior rt at ~target ~args);
+  Hashtbl.replace p.Process.pending_calls req_id
+    { Process.call_target = target; pinned; on_reply };
   (* The marshalling work Table 1's base cost consists of. *)
   marshal_work rt
     (Msg.make ~src ~dst:(Oid.owner target) ~sent_at:now
        (Msg.Rmi_request { req_id; target; args; stub_ic }));
   Scheduler.schedule_after rt.Runtime.sched ~delay:rt.Runtime.config.rmi_pin_timeout (fun () ->
-      match release_pins rt req_id with
+      match release_pins p req_id with
       | Some _ -> Stats.incr rt.Runtime.stats "rmi.pin_timeouts"
       | None -> ());
   Runtime.send rt ~src ~dst:(Oid.owner target) (Msg.Rmi_request { req_id; target; args; stub_ic })
@@ -58,12 +62,15 @@ let handle_request rt ~(at : Process.t) ~src ~req_id ~target ~args ~stub_ic =
   marshal_work rt
     (Msg.make ~src ~dst:at.Process.id ~sent_at:(Runtime.now rt)
        (Msg.Rmi_request { req_id; target; args; stub_ic }));
+  (* The body travels with the request in a real platform; the
+     simulator's stand-in fetches it from the caller's table. *)
+  let caller = Runtime.proc rt src in
   let behavior =
-    match Hashtbl.find_opt rt.Runtime.behaviors req_id with
+    match Hashtbl.find_opt caller.Process.behaviors req_id with
     | Some b ->
-        Hashtbl.remove rt.Runtime.behaviors req_id;
+        Hashtbl.remove caller.Process.behaviors req_id;
         b
-    | None -> noop_behavior
+    | None -> fun _p ~target:_ ~args:_ -> []
   in
   if not (Heap.mem at.Process.heap target) then begin
     (* The target was collected before the request arrived: an
@@ -84,7 +91,7 @@ let handle_request rt ~(at : Process.t) ~src ~req_id ~target ~args ~stub_ic =
       Scion_table.observe_invocation at.Process.scions ~now:(Runtime.now rt) key ~stub_ic;
       List.iter (fun a -> Reflist.import_ref rt ~at a) args
     end;
-    let results = behavior rt at ~target ~args in
+    let results = behavior at ~target ~args in
     if dgc then List.iter (fun r -> Reflist.export_ref rt ~from_:at ~to_:src r) results;
     (* Marshal the outgoing reply. *)
     marshal_work rt
@@ -98,7 +105,7 @@ let handle_reply rt ~(at : Process.t) ~req_id ~target ~results =
   marshal_work rt
     (Msg.make ~src:at.Process.id ~dst:at.Process.id ~sent_at:(Runtime.now rt)
        (Msg.Rmi_reply { req_id; target; results }));
-  let pending = release_pins rt req_id in
+  let pending = release_pins at req_id in
   if rt.Runtime.config.dgc_enabled then begin
     (* count_replies: the reply is an invocation through the same
        reference in the other direction — bump the stub side here; the
@@ -108,5 +115,5 @@ let handle_reply rt ~(at : Process.t) ~req_id ~target ~results =
     List.iter (fun r -> Reflist.import_ref rt ~at r) results
   end;
   match pending with
-  | Some { Runtime.on_reply = Some k; _ } -> k results
-  | Some { Runtime.on_reply = None; _ } | None -> ()
+  | Some { Process.on_reply = Some k; _ } -> k results
+  | Some { Process.on_reply = None; _ } | None -> ()

@@ -1,18 +1,18 @@
 open Adgc_algebra
 
 type config = {
-  mutable dgc_enabled : bool;
-  mutable count_replies : bool;
-  mutable export_retry_delay : int;
-  mutable rmi_pin_timeout : int;
-  mutable rmi_marshal : bool;
-  mutable lgc_period : int;
-  mutable new_set_period : int;
-  mutable scion_grace : int;
-  mutable failure_detection : bool;
-  mutable holder_silence_limit : int;
-  mutable dgc_batching : bool;
-  mutable dgc_batch_window : int;
+  dgc_enabled : bool;
+  count_replies : bool;
+  export_retry_delay : int;
+  rmi_pin_timeout : int;
+  rmi_marshal : bool;
+  lgc_period : int;
+  new_set_period : int;
+  scion_grace : int;
+  failure_detection : bool;
+  holder_silence_limit : int;
+  dgc_batching : bool;
+  dgc_batch_window : int;
 }
 
 let default_config () =
@@ -31,8 +31,6 @@ let default_config () =
     dgc_batch_window = 10;
   }
 
-type batch_queue = { mutable queued : Msg.payload list; opened_at : int }
-
 type t = {
   sched : Scheduler.t;
   net : Network.t;
@@ -44,26 +42,11 @@ type t = {
   lineage : Adgc_obs.Lineage.t;
   mutable run_span : int;
   config : config;
-  behaviors : (int, behavior) Hashtbl.t;
-  pending_calls : (int, pending_call) Hashtbl.t;
-  pending_notices : (int, pending_notice) Hashtbl.t;
-  pending_batches : (int * int, batch_queue) Hashtbl.t;
-  mutable next_req_id : int;
-  mutable next_notice_id : int;
   mutable on_reclaim : (Proc_id.t -> Oid.t -> unit) option;
   mutable on_pre_sweep : (Proc_id.t -> Oid.t list -> unit) option;
 }
 
-and behavior = t -> Process.t -> target:Oid.t -> args:Oid.t list -> Oid.t list
-
-and pending_call = {
-  caller : Proc_id.t;
-  call_target : Oid.t;
-  pinned : Oid.t list;
-  on_reply : (Oid.t list -> unit) option;
-}
-
-and pending_notice = { exporter : Proc_id.t; notice_target : Oid.t; new_holder : Proc_id.t }
+type behavior = t -> Process.t -> target:Oid.t -> args:Oid.t list -> Oid.t list
 
 let create ~sched ~net ~procs ~rng ~stats ~trace ?obs ?lineage ~config () =
   {
@@ -77,12 +60,6 @@ let create ~sched ~net ~procs ~rng ~stats ~trace ?obs ?lineage ~config () =
     lineage = (match lineage with Some l -> l | None -> Adgc_obs.Lineage.create ());
     run_span = Adgc_obs.Span.none;
     config;
-    behaviors = Hashtbl.create 32;
-    pending_calls = Hashtbl.create 32;
-    pending_notices = Hashtbl.create 32;
-    pending_batches = Hashtbl.create 16;
-    next_req_id = 0;
-    next_notice_id = 0;
     on_reclaim = None;
     on_pre_sweep = None;
   }
@@ -94,16 +71,6 @@ let proc_count t = Array.length t.procs
 let now t = Scheduler.now t.sched
 
 let log t ~topic fmt = Adgc_util.Trace.addf t.trace ~time:(now t) ~topic fmt
-
-let fresh_req_id t =
-  let id = t.next_req_id in
-  t.next_req_id <- id + 1;
-  id
-
-let fresh_notice_id t =
-  let id = t.next_notice_id in
-  t.next_notice_id <- id + 1;
-  id
 
 let send t ~src ~dst payload =
   (* Crash-stop: the dead neither speak nor listen.  Receive-side
@@ -118,19 +85,20 @@ let send t ~src ~dst payload =
 (* ------------------------------------------------------------------ *)
 (* DGC traffic coalescing.  Control messages (stub sets, probes, CDMs,
    proven-cycle deletions) tolerate a small extra delay, so instead of
-   hitting the wire one by one they sit in a per-(src, dst) queue for
-   [dgc_batch_window] ticks and leave as one [Msg.Batch] envelope —
-   one latency charge, one header, one network event.  Liveness is
-   unaffected: the window only postpones, never suppresses, and every
-   protocol above already tolerates arbitrary delay. *)
+   hitting the wire one by one they sit in the sender's per-destination
+   queue for [dgc_batch_window] ticks and leave as one [Msg.Batch]
+   envelope — one latency charge, one header, one network event.
+   Liveness is unaffected: the window only postpones, never
+   suppresses, and every protocol above already tolerates delay. *)
 
 let flush_batch t ~src ~dst =
-  let key = (Proc_id.to_int src, Proc_id.to_int dst) in
-  match Hashtbl.find_opt t.pending_batches key with
+  let sender = proc t src in
+  let key = Proc_id.to_int dst in
+  match Hashtbl.find_opt sender.Process.pending_batches key with
   | None -> ()
   | Some q ->
-      Hashtbl.remove t.pending_batches key;
-      (match List.rev q.queued with
+      Hashtbl.remove sender.Process.pending_batches key;
+      (match List.rev q.Process.queued with
       | [] -> ()
       | [ payload ] -> send t ~src ~dst payload
       | payloads ->
@@ -138,7 +106,7 @@ let flush_batch t ~src ~dst =
           Adgc_util.Stats.add t.stats "net.msg.batched" (List.length payloads);
           if Adgc_obs.Span.enabled t.obs then begin
             let span =
-              Adgc_obs.Span.begin_span t.obs ~time:q.opened_at ?parent:None
+              Adgc_obs.Span.begin_span t.obs ~time:q.Process.opened_at ?parent:None
                 ~proc:(Proc_id.to_int src) ~kind:Adgc_obs.Span.Batch_flush
                 (Printf.sprintf "batch %s->%s" (Proc_id.to_string src) (Proc_id.to_string dst))
             in
@@ -149,19 +117,22 @@ let flush_batch t ~src ~dst =
           send t ~src ~dst (Msg.Batch payloads))
 
 let flush_all_batches t =
-  let keys = Hashtbl.fold (fun (s, d) _ acc -> (s, d) :: acc) t.pending_batches [] in
-  List.iter
-    (fun (s, d) -> flush_batch t ~src:(Proc_id.of_int s) ~dst:(Proc_id.of_int d))
-    keys
+  Array.iter
+    (fun (p : Process.t) ->
+      let dsts = Hashtbl.fold (fun d _ acc -> d :: acc) p.Process.pending_batches [] in
+      List.iter (fun d -> flush_batch t ~src:p.Process.id ~dst:(Proc_id.of_int d)) dsts)
+    t.procs
 
 let send_dgc t ~src ~dst payload =
   if not t.config.dgc_batching then send t ~src ~dst payload
   else begin
-    let key = (Proc_id.to_int src, Proc_id.to_int dst) in
-    match Hashtbl.find_opt t.pending_batches key with
-    | Some q -> q.queued <- payload :: q.queued
+    let sender = proc t src in
+    let key = Proc_id.to_int dst in
+    match Hashtbl.find_opt sender.Process.pending_batches key with
+    | Some q -> q.Process.queued <- payload :: q.Process.queued
     | None ->
-        Hashtbl.add t.pending_batches key { queued = [ payload ]; opened_at = now t };
+        Hashtbl.add sender.Process.pending_batches key
+          { Process.queued = [ payload ]; opened_at = now t };
         Scheduler.schedule_after t.sched ~delay:t.config.dgc_batch_window (fun () ->
             flush_batch t ~src ~dst)
   end

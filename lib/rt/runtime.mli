@@ -1,64 +1,73 @@
-(** Shared context threading the simulator's pieces together.
+(** Shared engine-shell context threading the simulator's pieces
+    together.
 
-    {!Reflist}, {!Rmi}, {!Lgc} and the detectors all operate on this
-    record; {!Cluster} builds it and dispatches incoming messages to
-    the right handler. *)
+    After the kernel/engine split, this record owns only the
+    {e shared, process-agnostic} machinery: the scheduler, the
+    network, stats/trace/telemetry sinks and the immutable run
+    configuration.  All {e protocol} state (request/notice counters,
+    pending calls and export handshakes, DGC batch queues, RMI
+    behaviors) lives on the individual {!Process.t}, so handling a
+    delivery or running a duty is a per-process transition plus
+    outbound messages.  {!Reflist}, {!Rmi}, {!Lgc} and the detectors
+    all operate through this record; {!Cluster} builds it and
+    installs {!Dispatch.deliver} as the network's delivery
+    function. *)
 
 open Adgc_algebra
 
 type config = {
-  mutable dgc_enabled : bool;
+  dgc_enabled : bool;
       (** master switch for the reference-listing bookkeeping on the
           RMI path (stub/scion creation, pins, counters).  Disabling
           it models the original platform without any DGC — the
           baseline of the paper's Table 1.  Marshalling and message
           traffic are unaffected, so the comparison isolates the DGC
           overhead. *)
-  mutable count_replies : bool;
+  count_replies : bool;
       (** bump the invocation counters on RMI replies too (the paper
           allows either; default off) *)
-  mutable export_retry_delay : int;
+  export_retry_delay : int;
       (** delay between retransmissions of an unacknowledged
           [Export_notice] *)
-  mutable rmi_pin_timeout : int;
+  rmi_pin_timeout : int;
       (** after this long, pins taken for an RMI whose reply never
           arrived are dropped (limits floating garbage under loss) *)
-  mutable rmi_marshal : bool;
+  rmi_marshal : bool;
       (** marshal RMI argument descriptors through the compact codec
           on the caller (the real work Table 1's base cost measures) *)
-  mutable lgc_period : int;
-  mutable new_set_period : int;
-  mutable scion_grace : int;
+  lgc_period : int;
+  new_set_period : int;
+  scion_grace : int;
       (** how long an unconfirmed scion is protected from stub sets
           that do not list it; must exceed the maximum message
           lifetime plus one advertisement period (see
           {!Scion_table.apply_new_set}) *)
-  mutable failure_detection : bool;
+  failure_detection : bool;
       (** reclaim scions whose holder has been silent (no stub set,
           despite probes) for {!field:holder_silence_limit} ticks —
           lease-like semantics for crash-stop failures.  UNSAFE under
           false suspicion: a partition outlasting the limit reclaims
           objects a live-but-unreachable holder still references; the
           tests demonstrate both directions of the trade-off. *)
-  mutable holder_silence_limit : int;
-  mutable dgc_batching : bool;
+  holder_silence_limit : int;
+  dgc_batching : bool;
       (** coalesce DGC control traffic (stub sets, probes, CDMs,
           proven-cycle deletions) per destination into {!Msg.Batch}
           envelopes flushed every {!field:dgc_batch_window} ticks;
           default off (every message hits the wire individually, the
           seed behaviour) *)
-  mutable dgc_batch_window : int;
+  dgc_batch_window : int;
       (** how long {!send_dgc} may hold a queued payload before its
           batch is flushed.  Bounds the extra latency added to CDM
           propagation and stub-set timeliness — keep it well under
           [new_set_period] and the detector's scan period. *)
 }
+(** Immutable: fix the knobs before building the cluster (functional
+    record update on {!default_config}).  Sharing one config value
+    between clusters is now harmless — nothing can mutate it under a
+    reader's feet. *)
 
 val default_config : unit -> config
-
-type batch_queue = { mutable queued : Msg.payload list; opened_at : int }
-(** Payloads (newest first) plus the tick the queue opened, so the
-    flush span covers the whole coalescing window. *)
 
 type t = {
   sched : Scheduler.t;
@@ -74,15 +83,6 @@ type t = {
       (** per-detection hop provenance; same enablement as [obs] *)
   mutable run_span : int;  (** root span every other span nests under *)
   config : config;
-  behaviors : (int, behavior) Hashtbl.t;  (** pending RMI bodies, by request id *)
-  pending_calls : (int, pending_call) Hashtbl.t;  (** caller-side in-flight RMIs *)
-  pending_notices : (int, pending_notice) Hashtbl.t;
-      (** third-party export handshakes awaiting acknowledgement *)
-  pending_batches : (int * int, batch_queue) Hashtbl.t;
-      (** DGC payloads queued per (src, dst) awaiting their batch
-          flush *)
-  mutable next_req_id : int;
-  mutable next_notice_id : int;
   mutable on_reclaim : (Proc_id.t -> Oid.t -> unit) option;
       (** called for every object swept by any LGC (test hook) *)
   mutable on_pre_sweep : (Proc_id.t -> Oid.t list -> unit) option;
@@ -91,19 +91,12 @@ type t = {
           checker computes ground truth here *)
 }
 
-and behavior = t -> Process.t -> target:Oid.t -> args:Oid.t list -> Oid.t list
-(** The body run at the callee: receives the callee process and the
-    imported argument references; returns the references to ship back
-    in the reply. *)
-
-and pending_call = {
-  caller : Proc_id.t;
-  call_target : Oid.t;
-  pinned : Oid.t list;  (** stubs pinned at the caller for this call *)
-  on_reply : (Oid.t list -> unit) option;
-}
-
-and pending_notice = { exporter : Proc_id.t; notice_target : Oid.t; new_holder : Proc_id.t }
+type behavior = t -> Process.t -> target:Oid.t -> args:Oid.t list -> Oid.t list
+(** The user-facing RMI body: receives the runtime context and the
+    callee process plus the imported argument references; returns the
+    references to ship back in the reply.  {!Rmi.call} closes it over
+    the context and stores the result on the caller as a
+    {!Process.behavior}. *)
 
 val create :
   sched:Scheduler.t ->
@@ -130,22 +123,19 @@ val now : t -> int
 val log : t -> topic:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** Append to the trace buffer, stamped with simulated time. *)
 
-val fresh_req_id : t -> int
-
-val fresh_notice_id : t -> int
-
 val send : t -> src:Proc_id.t -> dst:Proc_id.t -> Msg.payload -> unit
 
 val send_dgc : t -> src:Proc_id.t -> dst:Proc_id.t -> Msg.payload -> unit
 (** Like {!send}, for delay-tolerant DGC control traffic.  With
     [config.dgc_batching] off this is exactly [send]; with it on, the
-    payload joins the (src, dst) queue and travels inside one
-    {!Msg.Batch} when the window closes ([net.msg.batched] /
-    [net.msg.batch_flushes] count the coalescing).  Crash-stop
-    filtering applies at flush time. *)
+    payload joins the sender's per-destination queue and travels
+    inside one {!Msg.Batch} when the window closes
+    ([net.msg.batched] / [net.msg.batch_flushes] count the
+    coalescing).  Crash-stop filtering applies at flush time. *)
 
 val flush_batch : t -> src:Proc_id.t -> dst:Proc_id.t -> unit
 (** Flush one pending batch immediately (idempotent). *)
 
 val flush_all_batches : t -> unit
-(** Flush every pending batch immediately (tests and shutdown). *)
+(** Flush every process's pending batches immediately (tests and
+    shutdown). *)

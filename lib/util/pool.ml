@@ -1,0 +1,182 @@
+(* A small fixed pool of worker domains for data-parallel rounds.
+
+   The pool runs one round at a time: [run t ~n f] evaluates
+   [f 0 .. f (n-1)] with the caller and every worker claiming indices
+   from a shared cursor, and returns once all [n] indices have
+   finished (a full barrier).  Workers park on a condition variable
+   between rounds, so a round on an idle pool costs two lock
+   round-trips per participant — cheap enough to use for every bulk
+   phase of a simulation tick.
+
+   Domains are spawned once and live until [shutdown] (registered
+   [at_exit] for the shared pool): OCaml domains are far too expensive
+   to spawn per round, and the runtime caps their total count, so a
+   create-per-round design would both crawl and eventually abort. *)
+
+type t = {
+  m : Mutex.t;
+  start : Condition.t;  (* new round published, workers wake *)
+  finished : Condition.t;  (* all indices of the round completed *)
+  mutable round : int;
+  mutable task : (int -> unit) option;
+  mutable n : int;
+  mutable next : int;  (* next unclaimed index of the round *)
+  mutable completed : int;
+  mutable stop : bool;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable domains : unit Domain.t list;
+}
+
+(* Claim-and-run until the current round has no unclaimed index left.
+   Shared by workers and the caller; the index cursor is the only
+   scheduler.  The first exception is kept and re-raised by [run]
+   after the barrier — the round still completes, so the pool stays
+   usable. *)
+let drain t =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.m;
+    match t.task with
+    | None ->
+        continue := false;
+        Mutex.unlock t.m
+    | Some f ->
+        if t.next >= t.n then begin
+          continue := false;
+          Mutex.unlock t.m
+        end
+        else begin
+          let i = t.next in
+          t.next <- i + 1;
+          Mutex.unlock t.m;
+          (try f i
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock t.m;
+             if t.failure = None then t.failure <- Some (e, bt);
+             Mutex.unlock t.m);
+          Mutex.lock t.m;
+          t.completed <- t.completed + 1;
+          if t.completed >= t.n then Condition.broadcast t.finished;
+          Mutex.unlock t.m
+        end
+  done
+
+let worker t () =
+  let seen = ref 0 in
+  let quit = ref false in
+  while not !quit do
+    Mutex.lock t.m;
+    while (not t.stop) && t.round = !seen do
+      Condition.wait t.start t.m
+    done;
+    if t.stop then begin
+      quit := true;
+      Mutex.unlock t.m
+    end
+    else begin
+      seen := t.round;
+      Mutex.unlock t.m;
+      drain t
+    end
+  done
+
+let env_workers () =
+  match Sys.getenv_opt "ADGC_POOL_DOMAINS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n >= 0 -> Some n | _ -> None)
+  | None -> None
+
+let default_workers () =
+  match env_workers () with
+  | Some n -> n
+  | None ->
+      (* The caller is a participant, so workers = cores - 1; capped
+         because the bulk phases stop scaling long before that. *)
+      Int.min 7 (Int.max 0 (Domain.recommended_domain_count () - 1))
+
+let create ?workers () =
+  let workers = match workers with Some w -> Int.max 0 w | None -> default_workers () in
+  let t =
+    {
+      m = Mutex.create ();
+      start = Condition.create ();
+      finished = Condition.create ();
+      round = 0;
+      task = None;
+      n = 0;
+      next = 0;
+      completed = 0;
+      stop = false;
+      failure = None;
+      domains = [];
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = 1 + List.length t.domains
+
+let run t ~n f =
+  if n > 0 then begin
+    if t.domains = [] then
+      (* No workers: a plain loop, no locking. *)
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      Mutex.lock t.m;
+      t.task <- Some f;
+      t.n <- n;
+      t.next <- 0;
+      t.completed <- 0;
+      t.round <- t.round + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.m;
+      drain t;
+      Mutex.lock t.m;
+      while t.completed < t.n do
+        Condition.wait t.finished t.m
+      done;
+      t.task <- None;
+      let failure = t.failure in
+      t.failure <- None;
+      Mutex.unlock t.m;
+      match failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.start;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* The shared pool: one per program, spawned on first use and joined
+   at exit so the runtime never shuts down under a parked domain. *)
+let shared_pool : t option ref = ref None
+
+let shared () =
+  match !shared_pool with
+  | Some t -> t
+  | None ->
+      let t = create () in
+      shared_pool := Some t;
+      at_exit (fun () ->
+          match !shared_pool with Some t -> shutdown t | None -> ());
+      t
+
+(* Idle domains are not free: every minor collection is a
+   stop-the-world rendezvous across all domains, so a parked pool
+   taxes single-domain phases of a long program (a test suite, say).
+   Releasing the pool between parallel regions keeps that tax scoped;
+   the next [shared] call simply respawns. *)
+let shutdown_shared () =
+  match !shared_pool with
+  | None -> ()
+  | Some t ->
+      shared_pool := None;
+      shutdown t

@@ -1,0 +1,44 @@
+(** A small fixed pool of worker domains for data-parallel rounds.
+
+    Built on the stdlib only ([Domain], [Mutex], [Condition]); the
+    parallel execution engine ({!Adgc.Engine}) runs its prepare phases
+    on it.  One round at a time: {!run} is a full barrier. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Spawn a pool with [workers] extra domains (the caller of {!run} is
+    always a participant too, so total parallelism is [workers + 1]).
+    Defaults to [min 7 (recommended_domain_count - 1)], overridable
+    with the [ADGC_POOL_DOMAINS] environment variable — including
+    forcing workers on a single-core host to exercise the parallel
+    path.  [workers = 0] degenerates to a plain loop in {!run}. *)
+
+val size : t -> int
+(** Total participants: workers plus the calling domain. *)
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** [run t ~n f] evaluates [f i] for every [i] in [0, n) across the
+    pool and the caller, returning when all have finished.  Indices
+    are claimed dynamically, one at a time, so uneven task sizes
+    balance themselves.  [f] must only touch state owned by its index
+    (plus immutable shared state) — nothing here synchronizes beyond
+    the claim cursor and the final barrier.  If any [f i] raises, the
+    round still completes and the first exception is re-raised to the
+    caller afterwards. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  The pool must be idle. *)
+
+val shared : unit -> t
+(** The lazily-created process-wide pool (joined automatically at
+    exit).  All engine instances share it: domains are expensive and
+    the runtime caps their count, so per-engine pools would not
+    survive test suites that build hundreds of simulators. *)
+
+val shutdown_shared : unit -> unit
+(** Join and forget the shared pool (no-op when never created).  Even
+    parked worker domains slow every other domain's minor collections
+    (each is a stop-the-world rendezvous), so programs that are done
+    with parallel rounds — or test suites moving on to sequential
+    suites — should release them; the next {!shared} respawns. *)

@@ -1,0 +1,201 @@
+(* The engine contract: the parallel engine is an implementation
+   detail, not a semantics.  Every observable — the full metrics
+   document and the span-timeline digest — must be byte-identical
+   between [Seq] and [Par] across detectors, fault profiles and
+   seeds.  Plus the kernel-level guarantees the contract rests on:
+   prepares touch no shared state, the ground-truth tracer refines
+   in-flight replies, and the clean-poll staleness guard skips
+   without changing answers. *)
+
+open Adgc_algebra
+open Adgc_rt
+open Adgc_workload
+module Sim = Adgc.Sim
+module Config = Adgc.Config
+module Snapshot_store = Adgc_snapshot.Snapshot_store
+module Export = Adgc_obs.Export
+module Json = Adgc_util.Json
+module Stats = Adgc_util.Stats
+
+let check = Alcotest.check
+
+(* The container the suite usually runs on has one core, where the
+   shared pool would start zero worker domains and [Par] degenerates
+   to its sequential fallback.  Force real domains (unless the caller
+   already chose a count) so the equivalence matrix actually crosses
+   domain boundaries. *)
+let () =
+  if Sys.getenv_opt "ADGC_POOL_DOMAINS" = None then Unix.putenv "ADGC_POOL_DOMAINS" "2"
+
+(* ---------------------------------------------------------------- *)
+(* Cross-engine equivalence *)
+
+let mk_config ~engine ~detector ~faults ~seed =
+  let c = Config.quick ~seed ~n_procs:6 () in
+  let c = { c with Config.engine; detector } in
+  match faults with None -> c | Some f -> { c with Config.faults = f }
+
+(* One deterministic life of a system: seeded workload, periodic
+   timers, and explicit bulk rounds (the engine-parallel surface). *)
+let run_system config =
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+  let _garbage = Topology.ring cluster ~procs:[ 0; 1; 2 ] in
+  let _live = Topology.rooted_ring cluster ~procs:[ 2; 3; 4; 5 ] in
+  let _deep = Topology.chain_into_ring cluster ~procs:[ 1; 3; 5 ] in
+  Sim.start sim;
+  for _ = 1 to 4 do
+    Sim.run_for sim 1_500;
+    Sim.snapshot_all sim;
+    ignore (Sim.scan_all sim : int);
+    Sim.run_gc_cycle sim
+  done;
+  Sim.teardown sim;
+  let metrics = Json.to_string (Export.metrics_document (Sim.stats sim)) in
+  let spans = Export.span_digest (Sim.obs sim) in
+  (metrics, spans)
+
+let test_cross_engine_equivalence () =
+  let fault_cases =
+    [
+      ("clean", None);
+      ( "loss-burst",
+        Some (Faults.plan_of_profile ~start:1_000 ~stop:4_000 ~n_procs:6 Faults.Loss_burst) );
+    ]
+  in
+  List.iter
+    (fun (det_name, detector) ->
+      List.iter
+        (fun (fault_name, faults) ->
+          List.iter
+            (fun seed ->
+              let case = Printf.sprintf "%s/%s/seed%d" det_name fault_name seed in
+              let m_seq, d_seq =
+                run_system (mk_config ~engine:Config.Seq ~detector ~faults ~seed)
+              in
+              let m_par, d_par =
+                run_system (mk_config ~engine:Config.Par ~detector ~faults ~seed)
+              in
+              check Alcotest.string (case ^ ": metrics document") m_seq m_par;
+              check Alcotest.string (case ^ ": span digest") d_seq d_par)
+            [ 7; 21 ])
+        fault_cases)
+    [ ("dcda", Config.Dcda); ("backtrack", Config.Backtrack) ];
+  (* Parked pool domains tax every later suite's minor GCs
+     (stop-the-world rendezvous) — release them now that the parallel
+     cases are done. *)
+  Adgc_util.Pool.shutdown_shared ()
+
+let test_engine_names () =
+  let name engine =
+    let sim = Sim.create ~config:(mk_config ~engine ~detector:Config.Dcda ~faults:None ~seed:1) () in
+    let n = Sim.engine_name sim in
+    Sim.teardown sim;
+    n
+  in
+  check Alcotest.string "seq" "seq" (name Config.Seq);
+  check Alcotest.string "par" "par" (name Config.Par);
+  check Alcotest.bool "env parser roundtrip" true
+    (Config.engine_of_string (Config.engine_to_string Config.Par) = Some Config.Par);
+  Adgc_util.Pool.shutdown_shared ()
+
+(* ---------------------------------------------------------------- *)
+(* Kernel purity: a snapshot prepare may read its process but must
+   leave every shared observable — stats, spans, the store — alone.
+   That is the invariant that lets [Par] run prepares off the main
+   domain and still commit byte-identical output. *)
+
+let test_prepare_touches_no_shared_state () =
+  let sim = Sim.create ~config:(Config.quick ()) () in
+  let cluster = Sim.cluster sim in
+  let _ = Topology.ring cluster ~procs:[ 0; 1; 2 ] in
+  Sim.run_for sim 500;
+  let stats_json () = Json.to_string (Stats.to_json (Sim.stats sim)) in
+  let before_stats = stats_json () in
+  let before_spans = Export.span_digest (Sim.obs sim) in
+  let store = Sim.store sim in
+  let p = Cluster.proc cluster 0 in
+  let pr = Snapshot_store.prepare store p in
+  let _pr2 = Snapshot_store.prepare store p in
+  check Alcotest.string "stats untouched by prepare" before_stats (stats_json ());
+  check Alcotest.string "spans untouched by prepare" before_spans
+    (Export.span_digest (Sim.obs sim));
+  check Alcotest.bool "store untouched by prepare" true
+    (Snapshot_store.latest store (Proc_id.of_int 0) = None);
+  ignore (Snapshot_store.commit store pr : Adgc_snapshot.Summary.t);
+  check Alcotest.int "exactly one publication" 1
+    (Stats.get (Sim.stats sim) "snapshot.taken");
+  check Alcotest.bool "commit published" true
+    (Snapshot_store.latest store (Proc_id.of_int 0) <> None);
+  Sim.teardown sim
+
+(* ---------------------------------------------------------------- *)
+(* The in-flight-reply race (satellite of the shared-tracer move): an
+   RMI reply's [target] is routing metadata — it is never imported on
+   delivery — so the one ground-truth tracer must not count it live,
+   while the reply's [results] genuinely travel and must stay
+   pinned. *)
+
+let test_inflight_reply_target_not_pinned () =
+  let config = Config.quick ~n_procs:2 () in
+  config.Config.net.Network.delivery <- Network.Manual;
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+  let target = Mutator.alloc cluster ~proc:1 () in
+  let result = Mutator.alloc cluster ~proc:1 () in
+  let payload =
+    Msg.Rmi_reply { req_id = 0; target = target.Heap.oid; results = [ result.Heap.oid ] }
+  in
+  Runtime.send (Sim.rt sim) ~src:(Proc_id.of_int 1) ~dst:(Proc_id.of_int 0) payload;
+  check Alcotest.int "reply parked in flight" 1 (Network.in_flight_count (Sim.net sim));
+  let live = Cluster.globally_live cluster in
+  check Alcotest.bool "in-flight results are live" true (Oid.Set.mem result.Heap.oid live);
+  check Alcotest.bool "in-flight reply target is not" false
+    (Oid.Set.mem target.Heap.oid live);
+  (* The refinement is real: the raw payload walk does list the
+     target, so an unrefined tracer would wrongly pin it. *)
+  check Alcotest.bool "naive walk would pin it" true
+    (List.mem target.Heap.oid (Msg.payload_refs payload));
+  Sim.teardown sim
+
+(* ---------------------------------------------------------------- *)
+(* Staleness guard on the clean poll *)
+
+let test_clean_poll_skips_when_quiet () =
+  (* No timers, one garbage object, nothing ever moves: the first
+     poll computes, every later poll is a signature hit. *)
+  let sim = Sim.create ~config:(Config.quick ~n_procs:2 ()) () in
+  let cluster = Sim.cluster sim in
+  let _garbage = Mutator.alloc cluster ~proc:0 () in
+  check Alcotest.bool "never becomes clean" false
+    (Sim.run_until_clean ~step:100 ~max_time:1_000 sim);
+  check Alcotest.int "one real trace" 1 (Stats.get (Sim.stats sim) "sim.clean_checks");
+  check Alcotest.bool "quiet polls skipped" true
+    (Stats.get (Sim.stats sim) "sim.clean_checks.skipped" >= 5);
+  Sim.teardown sim
+
+let test_clean_poll_stays_correct () =
+  (* With live timers the guard must not change the verdict: the ring
+     is collected and the poll reports clean. *)
+  let sim = Sim.create ~config:(Config.quick ~n_procs:4 ()) () in
+  let _ = Topology.ring (Sim.cluster sim) ~procs:[ 0; 1; 2; 3 ] in
+  Sim.start sim;
+  check Alcotest.bool "converges to clean" true
+    (Sim.run_until_clean ~step:1_000 ~max_time:300_000 sim);
+  check Alcotest.int "clean means clean" 0 (Sim.garbage_count sim);
+  check Alcotest.bool "guard engaged" true
+    (Stats.get (Sim.stats sim) "sim.clean_checks" >= 1);
+  Sim.teardown sim
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "cross-engine equivalence matrix" `Slow test_cross_engine_equivalence;
+      Alcotest.test_case "engine names and env parsing" `Quick test_engine_names;
+      Alcotest.test_case "snapshot prepare touches no shared state" `Quick
+        test_prepare_touches_no_shared_state;
+      Alcotest.test_case "in-flight reply target is not pinned" `Quick
+        test_inflight_reply_target_not_pinned;
+      Alcotest.test_case "clean poll skips when quiet" `Quick test_clean_poll_skips_when_quiet;
+      Alcotest.test_case "clean poll stays correct" `Quick test_clean_poll_stays_correct;
+    ] )

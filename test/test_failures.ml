@@ -13,8 +13,10 @@ let check = Alcotest.check
 
 let mk ?(n = 4) ?(failure_detection = false) () =
   let config = Config.quick ~n_procs:n () in
-  config.Config.runtime.Runtime.failure_detection <- failure_detection;
-  config.Config.runtime.Runtime.holder_silence_limit <- 5_000;
+  let runtime =
+    { config.Config.runtime with Runtime.failure_detection; holder_silence_limit = 5_000 }
+  in
+  let config = { config with Config.runtime = runtime } in
   let sim = Sim.create ~config () in
   (sim, Sim.cluster sim)
 
@@ -179,8 +181,14 @@ let prop_random_crash_schedules_safe =
        QCheck2.Gen.(triple (int_range 0 1000) (int_range 0 3) (int_range 1 20_000))
        (fun (seed, victim, crash_time) ->
          let config = Config.quick ~seed ~n_procs:4 () in
-         config.Config.runtime.Runtime.failure_detection <- true;
-         config.Config.runtime.Runtime.holder_silence_limit <- 5_000;
+         let runtime =
+           {
+             config.Config.runtime with
+             Runtime.failure_detection = true;
+             holder_silence_limit = 5_000;
+           }
+         in
+         let config = { config with Config.runtime = runtime } in
          let sim = Sim.create ~config () in
          let cluster = Sim.cluster sim in
          let checker = Metrics.install_safety_checker cluster in

@@ -12,10 +12,14 @@ let check = Alcotest.check
 
 (* Hughes runs on top of the acyclic DGC only (no DCDA). *)
 let mk ?(n = 4) () =
-  let config = Runtime.default_config () in
-  config.Runtime.lgc_period <- 300;
-  config.Runtime.new_set_period <- 350;
-  config.Runtime.scion_grace <- 3_000;
+  let config =
+    {
+      (Runtime.default_config ()) with
+      Runtime.lgc_period = 300;
+      new_set_period = 350;
+      scion_grace = 3_000;
+    }
+  in
   let cluster = Cluster.create ~config ~n () in
   Cluster.start_gc cluster;
   let hughes = Hughes.install ~round_period:200 cluster in

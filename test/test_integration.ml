@@ -239,9 +239,14 @@ let test_stress_large_system () =
      once, still safe, still complete among the survivors. *)
   let config = Config.quick ~seed:99 ~n_procs:12 () in
   config.Config.net.Network.drop_prob <- 0.05;
-  config.Config.runtime.Adgc_rt.Runtime.failure_detection <- true;
-  config.Config.runtime.Adgc_rt.Runtime.holder_silence_limit <- 15_000;
-  let config = { config with Config.incremental_snapshots = true } in
+  let runtime =
+    {
+      config.Config.runtime with
+      Adgc_rt.Runtime.failure_detection = true;
+      holder_silence_limit = 15_000;
+    }
+  in
+  let config = { config with Config.runtime; Config.incremental_snapshots = true } in
   let sim = Sim.create ~config () in
   let cluster = Sim.cluster sim in
   let checker = Metrics.install_safety_checker cluster in

@@ -20,6 +20,7 @@ let () =
       Test_matrix.suite;
       Test_faults_matrix.suite;
       Test_sim.suite;
+      Test_engine.suite;
       Test_replay.suite;
       Test_schema.suite;
       Test_mc.suite;

@@ -8,10 +8,10 @@ open Adgc_rt
 let check = Alcotest.check
 
 (* A quiet cluster: no periodic duties; tests drive GC by hand. *)
-let mk ?(n = 3) ?(seed = 42) ?(drop = 0.0) () =
+let mk ?(n = 3) ?(seed = 42) ?(drop = 0.0) ?config () =
   let net_config = Network.default_config () in
   net_config.Network.drop_prob <- drop;
-  let cluster = Cluster.create ~seed ~net_config ~n () in
+  let cluster = Cluster.create ~seed ?config ~net_config ~n () in
   cluster
 
 let settle cluster = ignore (Cluster.drain cluster : int)
@@ -254,8 +254,8 @@ let test_owner_side_export () =
 (* ------------------------------------------------------------------ *)
 (* RMI *)
 
-let rmi_pair ?(drop = 0.0) () =
-  let cluster = mk ~n:2 ~drop () in
+let rmi_pair ?(drop = 0.0) ?config () =
+  let cluster = mk ~n:2 ~drop ?config () in
   let caller = Mutator.alloc cluster ~proc:0 () in
   let callee = Mutator.alloc cluster ~proc:1 () in
   Mutator.add_root cluster caller;
@@ -354,8 +354,8 @@ let test_rmi_pin_timeout_releases () =
     (Adgc_util.Stats.get (Cluster.stats cluster) "rmi.pin_timeouts")
 
 let test_rmi_count_replies_mode () =
-  let cluster, _, callee = rmi_pair () in
-  (Cluster.rt cluster).Runtime.config.Runtime.count_replies <- true;
+  let config = { (Runtime.default_config ()) with Runtime.count_replies = true } in
+  let cluster, _, callee = rmi_pair ~config () in
   Mutator.invoke cluster ~src:0 ~target:callee.Heap.oid;
   settle cluster;
   let p0 = Cluster.proc cluster 0 and p1 = Cluster.proc cluster 1 in
@@ -552,17 +552,14 @@ let test_replicate_under_loss () =
 
 module Stats = Adgc_util.Stats
 
-let enable_batching cluster ~window =
-  let rt = Cluster.rt cluster in
-  rt.Runtime.config.Runtime.dgc_batching <- true;
-  rt.Runtime.config.Runtime.dgc_batch_window <- window;
-  rt
+let batching_config ~window =
+  { (Runtime.default_config ()) with Runtime.dgc_batching = true; dgc_batch_window = window }
 
 let empty_set seqno = Msg.New_set_stubs { seqno; targets = Oid.Map.empty }
 
 let test_batching_coalesces () =
-  let cluster = mk ~n:2 () in
-  let rt = enable_batching cluster ~window:5 in
+  let cluster = mk ~n:2 ~config:(batching_config ~window:5) () in
+  let rt = Cluster.rt cluster in
   let stats = Cluster.stats cluster in
   let src = Proc_id.of_int 0 and dst = Proc_id.of_int 1 in
   Runtime.send_dgc rt ~src ~dst (empty_set 1);
@@ -575,8 +572,8 @@ let test_batching_coalesces () =
   check Alcotest.int "unpacked at delivery" 2 (Stats.get stats "net.msg.unbatched")
 
 let test_batching_single_payload_travels_plain () =
-  let cluster = mk ~n:2 () in
-  let rt = enable_batching cluster ~window:5 in
+  let cluster = mk ~n:2 ~config:(batching_config ~window:5) () in
+  let rt = Cluster.rt cluster in
   let stats = Cluster.stats cluster in
   Runtime.send_dgc rt ~src:(Proc_id.of_int 0) ~dst:(Proc_id.of_int 1) (empty_set 1);
   settle cluster;
@@ -595,8 +592,7 @@ let test_batching_off_is_immediate () =
 let test_batching_chain_reclaimed () =
   (* The acyclic end-to-end scenario still converges when every stub
      set rides inside a batch. *)
-  let cluster = mk () in
-  ignore (enable_batching cluster ~window:5 : Runtime.t);
+  let cluster = mk ~config:(batching_config ~window:5) () in
   let a = Mutator.alloc cluster ~proc:0 () in
   let b = Mutator.alloc cluster ~proc:1 () in
   let c = Mutator.alloc cluster ~proc:2 () in
@@ -614,8 +610,9 @@ let clique_round ~batching =
      probe round therefore carries two DGC payloads per (src, dst)
      pair — the traffic the batcher folds in half. *)
   let n = 6 in
-  let cluster = mk ~n ~seed:7 () in
-  if batching then ignore (enable_batching cluster ~window:5 : Runtime.t);
+  let cluster =
+    mk ~n ~seed:7 ?config:(if batching then Some (batching_config ~window:5) else None) ()
+  in
   for p = 0 to n - 1 do
     for q = 0 to n - 1 do
       if p <> q then begin
@@ -650,8 +647,10 @@ let test_batching_detection_converges () =
   (* A distributed cycle is still found and reclaimed when CDMs and
      stub sets travel batched. *)
   let config = Adgc.Config.quick ~n_procs:3 () in
-  config.Adgc.Config.runtime.Runtime.dgc_batching <- true;
-  config.Adgc.Config.runtime.Runtime.dgc_batch_window <- 5;
+  let runtime =
+    { config.Adgc.Config.runtime with Runtime.dgc_batching = true; dgc_batch_window = 5 }
+  in
+  let config = { config with Adgc.Config.runtime = runtime } in
   let sim = Adgc.Sim.create ~config () in
   let _built = Adgc_workload.Topology.ring (Adgc.Sim.cluster sim) ~procs:[ 0; 1; 2 ] in
   Adgc.Sim.start sim;
