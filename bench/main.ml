@@ -1160,6 +1160,80 @@ let bench_engine () =
     failwith "engine equivalence violated: par output differs from seq"
 
 (* ------------------------------------------------------------------ *)
+(* E23: the socket-backed multi-process driver vs the in-memory
+   simulator on the same scenario — what real processes, syscalls and
+   wire serialization cost relative to simulated delivery.  Nodes are
+   spawned by exec'ing the adgc_sim binary ([Unix.fork] is off-limits
+   here: the engine section above may already have spawned domains,
+   which forbids fork for the rest of the process). *)
+
+module Net_scenario = Adgc_net.Scenario
+module Coordinator = Adgc_net.Coordinator
+
+let adgc_sim_exe () =
+  match Sys.getenv_opt "ADGC_SIM_EXE" with
+  | Some p -> Some p
+  | None ->
+      List.find_opt Sys.file_exists
+        [
+          (* next to this bench executable, wherever it was run from *)
+          Filename.concat (Filename.dirname Sys.executable_name) "../bin/adgc_sim.exe";
+          "_build/default/bin/adgc_sim.exe";
+          "../bin/adgc_sim.exe";
+          "bin/adgc_sim.exe";
+        ]
+      |> Option.map (fun p ->
+             if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p)
+
+let bench_net () =
+  section "E23: socket driver vs in-memory simulator (ring to full reclamation)";
+  match adgc_sim_exe () with
+  | None -> print_endline "adgc_sim.exe not found (run `dune build` first); section skipped"
+  | Some exe ->
+      let sizes = if smoke () then [ 4 ] else [ 4; 8; 16 ] in
+      let rows =
+        List.map
+          (fun procs ->
+            let scenario = Net_scenario.make ~topology:Net_scenario.Ring ~procs () in
+            let sim, _built = Net_scenario.build scenario in
+            Sim.start sim;
+            let clean, sim_ms =
+              wall_ms (fun () -> Sim.run_until_clean ~step:1_000 ~max_time:600_000 sim)
+            in
+            let sim_ticks = Sim.now sim in
+            let sim_msgs = Stats.get (Sim.stats sim) "net.msg.sent" in
+            Sim.teardown sim;
+            let r =
+              Coordinator.run
+                (Coordinator.options ~spawn:(Coordinator.Exec [ exe; "serve" ]) scenario)
+            in
+            let frames = Stats.get r.Coordinator.stats "net.wire.sent" in
+            let wall = Float.max 1e-6 r.Coordinator.wall_s in
+            [
+              string_of_int procs;
+              Printf.sprintf "%.1f ms%s" sim_ms (if clean then "" else " (!)");
+              Printf.sprintf "%d ticks" sim_ticks;
+              string_of_int sim_msgs;
+              Printf.sprintf "%.0f ms%s" (wall *. 1000.0) (if Coordinator.ok r then "" else " (!)");
+              Printf.sprintf "%d ticks" r.Coordinator.max_tick;
+              string_of_int frames;
+              Printf.sprintf "%.0f" (float_of_int frames /. wall);
+              Printf.sprintf "%.0f us" (wall *. 1e6 /. float_of_int (Int.max 1 r.Coordinator.max_tick));
+            ])
+          sizes
+      in
+      Table.print
+        ~header:
+          [
+            "procs"; "sim wall"; "sim ticks"; "sim msgs"; "net wall"; "net ticks"; "net frames";
+            "frames/sec"; "net us/tick";
+          ]
+        ~rows ();
+      print_endline "same scenario, same duties, same oracle; the socket columns add OS";
+      print_endline "processes, select() scheduling and framed wire serialization ((!) marks a";
+      print_endline "run that missed full reclamation)"
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1179,6 +1253,7 @@ let sections =
     ("tracer", bench_tracer);
     ("telemetry", bench_telemetry);
     ("engine", bench_engine);
+    ("net", bench_net);
     ("micro", bench_micro);
   ]
 

@@ -447,6 +447,79 @@ let trace_cmd topology seed format out =
         (Sim.reports sim));
   0
 
+(* ----------------------------------------------------------------- *)
+(* serve/drive: the socket-backed multi-process driver.  [drive]
+   spawns one [serve] process per rank (re-executing this binary),
+   waits for the peer mesh, runs the same kernel duties off wall-clock
+   timers, and judges the gathered final state with the same oracle
+   invariants the in-memory drivers use. *)
+
+module Net_scenario = Adgc_net.Scenario
+module Coordinator = Adgc_net.Coordinator
+
+let serve_cmd dir rank topology procs seed detector objects edges tick_us max_ticks =
+  let scenario = Net_scenario.make ~topology ~procs ~seed ~detector ~objects ~edges () in
+  match Adgc_net.Node.main { Adgc_net.Node.rank; scenario; dir; tick_us; max_ticks } with
+  | () -> 0
+  | exception (Failure msg | Invalid_argument msg) ->
+      Printf.eprintf "serve: %s\n" msg;
+      1
+
+let drive_cmd topology procs seed detector objects edges tick_us deadline dir keep_dir kill
+    drop metrics_file spans_file quiet =
+  let scenario = Net_scenario.make ~topology ~procs ~seed ~detector ~objects ~edges () in
+  let faults =
+    (match kill with
+    | Some (rank, after_s) -> [ Coordinator.Kill { rank; after_s } ]
+    | None -> [])
+    @
+    match drop with
+    | Some (rank, peer, after_s) -> [ Coordinator.Drop { rank; peer; after_s } ]
+    | None -> []
+  in
+  let opts =
+    Coordinator.options ?dir ~tick_us ~deadline_s:deadline ~faults
+      ~spawn:(Coordinator.Exec [ Sys.executable_name; "serve" ])
+      ~keep_dir scenario
+  in
+  match Coordinator.run opts with
+  | result ->
+      if not quiet then Format.printf "%a@." Coordinator.pp_result result;
+      (match metrics_file with
+      | None -> ()
+      | Some path ->
+          let meta =
+            [
+              ("driver", Adgc_util.Json.Str "net");
+              ("topology", Adgc_util.Json.Str (Net_scenario.topology_to_string topology));
+              ("procs", Adgc_util.Json.Int (Net_scenario.n_procs scenario));
+              ("seed", Adgc_util.Json.Int seed);
+              ("detector", Adgc_util.Json.Str (Net_scenario.detector_to_string detector));
+              ("tick_us", Adgc_util.Json.Int tick_us);
+              ("wall_s", Adgc_util.Json.Float result.Coordinator.wall_s);
+              ("ok", Adgc_util.Json.Bool (Coordinator.ok result));
+            ]
+          in
+          write_file path
+            (Adgc_util.Json.to_string_pretty
+               (Adgc_obs.Export.metrics_document ~meta result.Coordinator.stats));
+          if not quiet then Printf.printf "metrics written to %s\n" path);
+      (match spans_file with
+      | None -> ()
+      | Some path ->
+          write_file path
+            (Adgc_util.Json.to_string (Adgc_obs.Export.chrome_trace result.Coordinator.obs));
+          if not quiet then Printf.printf "spans written to %s\n" path);
+      if Coordinator.ok result then 0
+      else begin
+        Format.eprintf "NET RUN FAILED (logs in %s):@.%a@." result.Coordinator.dir
+          Coordinator.pp_result result;
+        1
+      end
+  | exception Failure msg ->
+      Printf.eprintf "drive: %s\n" msg;
+      1
+
 open Cmdliner
 
 let topology_arg =
@@ -610,10 +683,126 @@ let mc_cmd_info =
        interleaving of deliveries, drops and collector duties; replay minimized \
        counterexamples; run the mutation gauntlet."
 
+(* serve / drive *)
+
+let net_topology_conv =
+  let parse s =
+    match Net_scenario.topology_of_string s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+  in
+  Arg.conv (parse, fun ppf t -> Format.pp_print_string ppf (Net_scenario.topology_to_string t))
+
+let net_detector_conv =
+  let parse s =
+    match Net_scenario.detector_of_string s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown detector %S (hughes is not driveable over sockets)" s))
+  in
+  Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (Net_scenario.detector_to_string d))
+
+let net_topology_arg =
+  Arg.(
+    value
+    & opt net_topology_conv Net_scenario.Ring
+    & info [ "topology"; "t" ]
+        ~doc:"Topology: fig3, fig4, fig5, ring, hybrid, random, star, lattice, web or chain.")
+
+let net_detector_arg =
+  Arg.(
+    value
+    & opt net_detector_conv Config.Dcda
+    & info [ "detector"; "d" ] ~doc:"dcda, backtrack or none.")
+
+let tick_us_arg =
+  Arg.(
+    value
+    & opt int 100
+    & info [ "tick-us" ] ~doc:"Wall microseconds per simulated tick." ~docv:"US")
+
+let serve_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~doc:"Socket/log directory shared with the coordinator." ~docv:"DIR")
+
+let serve_rank_arg =
+  Arg.(required & opt (some int) None & info [ "rank" ] ~doc:"This node's process rank.")
+
+let max_ticks_arg =
+  Arg.(
+    value
+    & opt int 10_000_000
+    & info [ "max-ticks" ] ~doc:"Refuse to simulate past this tick (safety stop).")
+
+let serve_term =
+  Term.(
+    const serve_cmd $ serve_dir_arg $ serve_rank_arg $ net_topology_arg $ procs_arg $ seed_arg
+    $ net_detector_arg $ objects_arg $ edges_arg $ tick_us_arg $ max_ticks_arg)
+
+let serve_cmd_info =
+  Cmd.info "serve"
+    ~doc:
+      "Run one node of the socket-backed driver (normally spawned by $(b,drive), not by \
+       hand): build the scenario replica, join the peer mesh, and run this rank's \
+       collector duties off wall-clock timers until the coordinator says shutdown."
+
+let drive_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dir" ] ~doc:"Socket/log directory (default: a fresh temp dir)." ~docv:"DIR")
+
+let keep_dir_arg =
+  Arg.(value & flag & info [ "keep-dir" ] ~doc:"Keep the socket/log directory after a clean run.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt float 60.0
+    & info [ "deadline" ] ~doc:"Wall-clock seconds allowed after start." ~docv:"SECONDS")
+
+let kill_arg =
+  Arg.(
+    value
+    & opt (some (pair ~sep:'@' int float)) None
+    & info [ "kill" ]
+        ~doc:"Fault injection: SIGKILL rank $(i,R) $(i,S) seconds after start (R@S)."
+        ~docv:"R@S")
+
+let drop_arg =
+  Arg.(
+    value
+    & opt (some (t3 ~sep:'@' int int float)) None
+    & info [ "drop" ]
+        ~doc:
+          "Fault injection: tell rank $(i,A) to sever its link to rank $(i,B) $(i,S) \
+           seconds after start (A@B@S); the link reconnects and replays."
+        ~docv:"A@B@S")
+
+let drive_term =
+  Term.(
+    const drive_cmd $ net_topology_arg $ procs_arg $ seed_arg $ net_detector_arg $ objects_arg
+    $ edges_arg $ tick_us_arg $ deadline_arg $ drive_dir_arg $ keep_dir_arg $ kill_arg
+    $ drop_arg $ metrics_arg $ spans_arg $ quiet_arg)
+
+let drive_cmd_info =
+  Cmd.info "drive"
+    ~doc:
+      "Run a scenario on real OS processes over Unix-domain sockets: spawn one node per \
+       rank, wait for the peer mesh, collect until every expected-garbage object is \
+       reclaimed, then gather state and run the oracle invariants over the union."
+
 let main =
   Cmd.group
     (Cmd.info "adgc_sim" ~version:"1.0.0"
        ~doc:"Asynchronous complete distributed garbage collection simulator.")
-    [ Cmd.v run_cmd_info run_term; Cmd.v trace_cmd_info trace_term; Cmd.v mc_cmd_info mc_term ]
+    [
+      Cmd.v run_cmd_info run_term;
+      Cmd.v trace_cmd_info trace_term;
+      Cmd.v mc_cmd_info mc_term;
+      Cmd.v serve_cmd_info serve_term;
+      Cmd.v drive_cmd_info drive_term;
+    ]
 
 let () = exit (Cmd.eval' main)

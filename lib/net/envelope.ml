@@ -1,0 +1,117 @@
+module Sval = Adgc_serial.Sval
+module Msg = Adgc_rt.Msg
+open Adgc_algebra
+
+type status = {
+  st_rank : int;
+  st_tick : int;
+  st_ready : bool;
+  st_reclaimed : Oid.t list;
+  st_wire_sent : int;
+  st_wire_received : int;
+  st_dup_ignored : int;
+}
+
+type t =
+  | Hello of { rank : int; procs : int; seed : int }
+  | Start
+  | Heartbeat of { tick : int }
+  | Net_msg of Msg.t
+  | Status_req
+  | Status of status
+  | State_req
+  | State of Gather.node_state
+  | Drop_peer of int
+  | Shutdown
+  | Bye
+
+let kind = function
+  | Hello _ -> "hello"
+  | Start -> "start"
+  | Heartbeat _ -> "heartbeat"
+  | Net_msg _ -> "net_msg"
+  | Status_req -> "status_req"
+  | Status _ -> "status"
+  | State_req -> "state_req"
+  | State _ -> "state"
+  | Drop_peer _ -> "drop_peer"
+  | Shutdown -> "shutdown"
+  | Bye -> "bye"
+
+let oid_sval (o : Oid.t) =
+  Sval.List [ Sval.Int (Proc_id.to_int (Oid.owner o)); Sval.Int o.Oid.serial ]
+
+let oid_of_sval = function
+  | Sval.List [ Sval.Int owner; Sval.Int serial ] when owner >= 0 ->
+      Some (Oid.make ~owner:(Proc_id.of_int owner) ~serial)
+  | _ -> None
+
+let all_of f l =
+  List.fold_right
+    (fun x acc -> match (f x, acc) with Some v, Some vs -> Some (v :: vs) | _ -> None)
+    l (Some [])
+
+let to_sval = function
+  | Hello { rank; procs; seed } ->
+      Sval.Record
+        ("hello", [ ("rank", Sval.Int rank); ("procs", Sval.Int procs); ("seed", Sval.Int seed) ])
+  | Start -> Sval.Record ("start", [])
+  | Heartbeat { tick } -> Sval.Record ("heartbeat", [ ("tick", Sval.Int tick) ])
+  | Net_msg m -> Sval.Record ("net_msg", [ ("msg", Msg.to_sval m) ])
+  | Status_req -> Sval.Record ("status_req", [])
+  | Status s ->
+      Sval.Record
+        ( "status",
+          [
+            ("rank", Sval.Int s.st_rank);
+            ("tick", Sval.Int s.st_tick);
+            ("ready", Sval.Bool s.st_ready);
+            ("reclaimed", Sval.List (List.map oid_sval s.st_reclaimed));
+            ("wire_sent", Sval.Int s.st_wire_sent);
+            ("wire_received", Sval.Int s.st_wire_received);
+            ("dup_ignored", Sval.Int s.st_dup_ignored);
+          ] )
+  | State_req -> Sval.Record ("state_req", [])
+  | State ns -> Sval.Record ("state", [ ("node", Gather.to_sval ns) ])
+  | Drop_peer rank -> Sval.Record ("drop_peer", [ ("rank", Sval.Int rank) ])
+  | Shutdown -> Sval.Record ("shutdown", [])
+  | Bye -> Sval.Record ("bye", [])
+
+let of_sval = function
+  | Sval.Record ("hello", [ ("rank", Sval.Int rank); ("procs", Sval.Int procs); ("seed", Sval.Int seed) ])
+    ->
+      Some (Hello { rank; procs; seed })
+  | Sval.Record ("start", []) -> Some Start
+  | Sval.Record ("heartbeat", [ ("tick", Sval.Int tick) ]) -> Some (Heartbeat { tick })
+  | Sval.Record ("net_msg", [ ("msg", m) ]) -> Option.map (fun m -> Net_msg m) (Msg.of_sval m)
+  | Sval.Record ("status_req", []) -> Some Status_req
+  | Sval.Record
+      ( "status",
+        [
+          ("rank", Sval.Int st_rank);
+          ("tick", Sval.Int st_tick);
+          ("ready", Sval.Bool st_ready);
+          ("reclaimed", Sval.List reclaimed);
+          ("wire_sent", Sval.Int st_wire_sent);
+          ("wire_received", Sval.Int st_wire_received);
+          ("dup_ignored", Sval.Int st_dup_ignored);
+        ] ) ->
+      Option.map
+        (fun st_reclaimed ->
+          Status
+            {
+              st_rank;
+              st_tick;
+              st_ready;
+              st_reclaimed;
+              st_wire_sent;
+              st_wire_received;
+              st_dup_ignored;
+            })
+        (all_of oid_of_sval reclaimed)
+  | Sval.Record ("state_req", []) -> Some State_req
+  | Sval.Record ("state", [ ("node", ns) ]) -> Option.map (fun ns -> State ns) (Gather.of_sval ns)
+  | Sval.Record ("drop_peer", [ ("rank", Sval.Int rank) ]) -> Some (Drop_peer rank)
+  | Sval.Record ("shutdown", []) -> Some Shutdown
+  | Sval.Record ("bye", []) -> Some Bye
+  | _ -> None

@@ -1,0 +1,49 @@
+(** Everything that crosses a socket, control plane included.
+
+    Protocol traffic rides as [Net_msg] (the untouched {!Adgc_rt.Msg}
+    wire representation, per-sender sequence number and all — which is
+    what makes delivery idempotent under transport-level
+    retransmission); the remaining constructors are the driver's
+    control plane: connection handshake, liveness, run orchestration
+    and state gathering.
+
+    Encoding is {!Adgc_serial.Net_codec} with {e per-connection}
+    interning ({!Adgc_serial.Net_codec.Stream}) — record and field
+    names cross each connection once, which is what the two-frame
+    shrink test in [test_serial.ml] pins down. *)
+
+type status = {
+  st_rank : int;
+  st_tick : int;
+  st_ready : bool;  (** all peer links established *)
+  st_reclaimed : Adgc_algebra.Oid.t list;  (** objects swept so far, oldest first *)
+  st_wire_sent : int;
+  st_wire_received : int;
+  st_dup_ignored : int;  (** envelopes refused by [Process.note_delivery] *)
+}
+
+type t =
+  | Hello of { rank : int; procs : int; seed : int }
+      (** First frame on every connection, dialer first.  Rank [-1] is
+          the coordinator.  [procs]/[seed] double as a configuration
+          cross-check: a mismatched node must not join. *)
+  | Start  (** coordinator -> node: begin duties; tick 0 is now *)
+  | Heartbeat of { tick : int }
+  | Net_msg of Adgc_rt.Msg.t  (** one protocol envelope, node -> node *)
+  | Status_req
+  | Status of status
+  | State_req
+  | State of Gather.node_state
+  | Drop_peer of int
+      (** coordinator -> node (tests): sever the link to that rank
+          right now, as if the connection had failed; the normal
+          reconnect machinery takes over. *)
+  | Shutdown  (** coordinator -> node: flush, reply [Bye], exit *)
+  | Bye
+
+val to_sval : t -> Adgc_serial.Sval.t
+
+val of_sval : Adgc_serial.Sval.t -> t option
+
+val kind : t -> string
+(** Stable tag for stats counters ("hello", "net_msg", ...). *)

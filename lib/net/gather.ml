@@ -1,0 +1,257 @@
+open Adgc_algebra
+module Sval = Adgc_serial.Sval
+module Invariant = Adgc_check.Invariant
+
+type object_state = { oid : Oid.t; refs : Oid.t list; rooted : bool }
+
+type stub_state = { target : Oid.t; stub_ic : int }
+
+type scion_state = { key : Ref_key.t; scion_ic : int; confirmed : bool }
+
+type node_state = {
+  rank : int;
+  tick : int;
+  objects : object_state list;
+  stubs : stub_state list;
+  scions : scion_state list;
+  reclaimed : Oid.t list;
+  counters : (string * int) list;
+}
+
+let capture ~rt ~rank ~tick ~reclaimed =
+  let p = rt.Adgc_rt.Runtime.procs.(rank) in
+  let heap = p.Adgc_rt.Process.heap in
+  let objects =
+    Adgc_rt.Heap.fold heap ~init:[] ~f:(fun acc (o : Adgc_rt.Heap.obj) ->
+        let refs =
+          Array.fold_right (fun f acc -> match f with Some r -> r :: acc | None -> acc) o.fields []
+        in
+        { oid = o.oid; refs; rooted = Adgc_rt.Heap.is_root heap o.oid } :: acc)
+    |> List.sort (fun a b -> Oid.compare a.oid b.oid)
+  in
+  let stubs =
+    List.map
+      (fun (e : Adgc_rt.Stub_table.entry) -> { target = e.target; stub_ic = e.ic })
+      (Adgc_rt.Stub_table.entries p.Adgc_rt.Process.stubs)
+  in
+  let scions =
+    List.map
+      (fun (e : Adgc_rt.Scion_table.entry) ->
+        { key = e.key; scion_ic = e.ic; confirmed = e.confirmed })
+      (Adgc_rt.Scion_table.entries p.Adgc_rt.Process.scions)
+  in
+  {
+    rank;
+    tick;
+    objects;
+    stubs;
+    scions;
+    reclaimed;
+    counters = Adgc_util.Stats.counters rt.Adgc_rt.Runtime.stats;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Wire representation.  Same id conventions as Msg's codec: an oid is
+   [owner; serial], a ref key is [src; oid]. *)
+
+let oid_sval (o : Oid.t) =
+  Sval.List [ Sval.Int (Proc_id.to_int (Oid.owner o)); Sval.Int o.Oid.serial ]
+
+let key_sval (k : Ref_key.t) =
+  Sval.List [ Sval.Int (Proc_id.to_int k.Ref_key.src); oid_sval k.Ref_key.target ]
+
+let to_sval t =
+  Sval.Record
+    ( "node_state",
+      [
+        ("rank", Sval.Int t.rank);
+        ("tick", Sval.Int t.tick);
+        ( "objects",
+          Sval.List
+            (List.map
+               (fun o ->
+                 Sval.List
+                   [ oid_sval o.oid; Sval.List (List.map oid_sval o.refs); Sval.Bool o.rooted ])
+               t.objects) );
+        ( "stubs",
+          Sval.List
+            (List.map (fun s -> Sval.List [ oid_sval s.target; Sval.Int s.stub_ic ]) t.stubs) );
+        ( "scions",
+          Sval.List
+            (List.map
+               (fun s -> Sval.List [ key_sval s.key; Sval.Int s.scion_ic; Sval.Bool s.confirmed ])
+               t.scions) );
+        ("reclaimed", Sval.List (List.map oid_sval t.reclaimed));
+        ( "counters",
+          Sval.List
+            (List.map (fun (k, v) -> Sval.List [ Sval.Str k; Sval.Int v ]) t.counters) );
+      ] )
+
+let oid_of_sval = function
+  | Sval.List [ Sval.Int owner; Sval.Int serial ] when owner >= 0 ->
+      Some (Oid.make ~owner:(Proc_id.of_int owner) ~serial)
+  | _ -> None
+
+let key_of_sval = function
+  | Sval.List [ Sval.Int src; oid ] when src >= 0 ->
+      Option.map (fun target -> Ref_key.make ~src:(Proc_id.of_int src) ~target) (oid_of_sval oid)
+  | _ -> None
+
+let all_of f l =
+  List.fold_right
+    (fun x acc -> match (f x, acc) with Some v, Some vs -> Some (v :: vs) | _ -> None)
+    l (Some [])
+
+let object_of_sval = function
+  | Sval.List [ oid; Sval.List refs; Sval.Bool rooted ] -> (
+      match (oid_of_sval oid, all_of oid_of_sval refs) with
+      | Some oid, Some refs -> Some { oid; refs; rooted }
+      | _ -> None)
+  | _ -> None
+
+let stub_of_sval = function
+  | Sval.List [ target; Sval.Int stub_ic ] ->
+      Option.map (fun target -> { target; stub_ic }) (oid_of_sval target)
+  | _ -> None
+
+let scion_of_sval = function
+  | Sval.List [ key; Sval.Int scion_ic; Sval.Bool confirmed ] ->
+      Option.map (fun key -> { key; scion_ic; confirmed }) (key_of_sval key)
+  | _ -> None
+
+let counter_of_sval = function
+  | Sval.List [ Sval.Str k; Sval.Int v ] -> Some (k, v)
+  | _ -> None
+
+let of_sval = function
+  | Sval.Record
+      ( "node_state",
+        [
+          ("rank", Sval.Int rank);
+          ("tick", Sval.Int tick);
+          ("objects", Sval.List objects);
+          ("stubs", Sval.List stubs);
+          ("scions", Sval.List scions);
+          ("reclaimed", Sval.List reclaimed);
+          ("counters", Sval.List counters);
+        ] ) -> (
+      match
+        ( all_of object_of_sval objects,
+          all_of stub_of_sval stubs,
+          all_of scion_of_sval scions,
+          all_of oid_of_sval reclaimed,
+          all_of counter_of_sval counters )
+      with
+      | Some objects, Some stubs, Some scions, Some reclaimed, Some counters ->
+          Some { rank; tick; objects; stubs; scions; reclaimed; counters }
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The oracle over gathered state. *)
+
+type verdict = {
+  violations : Invariant.violation list;
+  live : Oid.Set.t;
+  reclaimed : Oid.Set.t;
+  unreclaimed : Oid.Set.t;
+}
+
+let clean v = v.violations = []
+
+let check ~expected_live ~expected_garbage ?(dead = []) states =
+  let dead_ranks = List.fold_left (fun s r -> Proc_id.Set.add (Proc_id.of_int r) s) Proc_id.Set.empty dead in
+  let is_dead pid = Proc_id.Set.mem pid dead_ranks in
+  (* Index every surviving object. *)
+  let objects : object_state Oid.Tbl.t = Oid.Tbl.create 1024 in
+  List.iter
+    (fun (ns : node_state) -> List.iter (fun o -> Oid.Tbl.replace objects o.oid o) ns.objects)
+    states;
+  let reclaimed =
+    List.fold_left
+      (fun acc (ns : node_state) ->
+        List.fold_left (fun acc o -> Oid.Set.add o acc) acc ns.reclaimed)
+      Oid.Set.empty states
+  in
+  (* Reachability closure from every surviving root, crossing remote
+     references — the distributed-state mirror of
+     [Cluster.globally_live] (no in-flight messages: the coordinator
+     only judges quiescent gathers). *)
+  let live = ref Oid.Set.empty in
+  let queue = Queue.create () in
+  List.iter
+    (fun (ns : node_state) ->
+      List.iter (fun o -> if o.rooted then Queue.add o.oid queue) ns.objects)
+    states;
+  while not (Queue.is_empty queue) do
+    let oid = Queue.pop queue in
+    if not (Oid.Set.mem oid !live) && Oid.Tbl.mem objects oid then begin
+      live := Oid.Set.add oid !live;
+      List.iter (fun r -> Queue.add r queue) (Oid.Tbl.find objects oid).refs
+    end
+  done;
+  let live = !live in
+  let violations = ref [] in
+  let report v = violations := v :: !violations in
+  (* Safety half of Live_reclaimed: the workload is static, so the
+     pre-run expected live set is exact — anything reclaimed from it
+     was reclaimed while globally reachable. *)
+  List.iter
+    (fun (ns : node_state) ->
+      List.iter
+        (fun oid ->
+          if Oid.Set.mem oid expected_live then
+            report (Invariant.Live_reclaimed { proc = Proc_id.of_int ns.rank; oid }))
+        ns.reclaimed)
+    states;
+  (* Dangling_ref: a live object's field points at memory absent from
+     every surviving heap.  References into dead processes are
+     wreckage, not judged. *)
+  List.iter
+    (fun (ns : node_state) ->
+      List.iter
+        (fun o ->
+          if Oid.Set.mem o.oid live then
+            List.iter
+              (fun r ->
+                if (not (is_dead (Oid.owner r))) && not (Oid.Tbl.mem objects r) then
+                  report
+                    (Invariant.Dangling_ref
+                       { proc = Proc_id.of_int ns.rank; holder = o.oid; target = r }))
+              o.refs)
+        ns.objects)
+    states;
+  (* Scion_dangles / Ic_regression over the gathered tables. *)
+  let stub_ics : (Proc_id.t * Oid.t, int) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (ns : node_state) ->
+      List.iter
+        (fun s -> Hashtbl.replace stub_ics (Proc_id.of_int ns.rank, s.target) s.stub_ic)
+        ns.stubs)
+    states;
+  List.iter
+    (fun (ns : node_state) ->
+      List.iter
+        (fun s ->
+          let target = s.key.Ref_key.target in
+          let holder = s.key.Ref_key.src in
+          if not (Oid.Tbl.mem objects target) then report (Invariant.Scion_dangles { key = s.key });
+          if not (is_dead holder) then
+            match Hashtbl.find_opt stub_ics (holder, target) with
+            | Some stub_ic when s.scion_ic > stub_ic ->
+                report (Invariant.Ic_regression { key = s.key; stub_ic; scion_ic = s.scion_ic })
+            | Some _ | None -> ())
+        ns.scions)
+    states;
+  let owned_by_dead oid = is_dead (Oid.owner oid) in
+  let unreclaimed =
+    Oid.Set.filter (fun o -> not (owned_by_dead o)) (Oid.Set.diff expected_garbage reclaimed)
+  in
+  { violations = List.rev !violations; live; reclaimed; unreclaimed }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "@[<v>reclaimed %d, live %d, unreclaimed garbage %d, violations %d"
+    (Oid.Set.cardinal v.reclaimed) (Oid.Set.cardinal v.live) (Oid.Set.cardinal v.unreclaimed)
+    (List.length v.violations);
+  List.iter (fun viol -> Format.fprintf ppf "@,  %a" Invariant.pp viol) v.violations;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,71 @@
+(** Socket plumbing for the multi-process driver.
+
+    One {!conn} per peer: a nonblocking socket with a per-connection
+    codec ({!Adgc_serial.Net_codec.Stream} interning in both
+    directions), an incremental {!Frame} decoder on the read side and
+    a byte backlog on the write side.  Everything here is
+    single-threaded and [Unix.select]-driven — calls never block.
+
+    Failure model: any read/write error, EOF, or malformed frame marks
+    the connection {e dead}; it is never half-usable.  Reconnecting
+    means a fresh [conn] — interning tables are connection-scoped, so
+    codec state can never straddle a reconnect. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> addr
+(** ["host:port"] is TCP, anything else a Unix-domain socket path. *)
+
+val pp_addr : Format.formatter -> addr -> unit
+
+(** {1 Connections} *)
+
+type conn
+
+val of_fd : Unix.file_descr -> conn
+(** Adopt an accepted or connected socket: set it nonblocking and
+    attach fresh codec state. *)
+
+val fd : conn -> Unix.file_descr
+
+val alive : conn -> bool
+
+val close : conn -> unit
+(** Idempotent; marks the connection dead. *)
+
+val send : conn -> Envelope.t -> unit
+(** Encode, frame, append to the write backlog and try to flush.  On a
+    dead connection this is a silent no-op — the caller notices via
+    {!alive} at its next poll. *)
+
+val flush : conn -> unit
+(** Push backlog bytes until the kernel pushes back ([EWOULDBLOCK]) or
+    the backlog drains.  Write errors kill the connection. *)
+
+val want_write : conn -> bool
+(** Backlog non-empty — include the fd in the select write set. *)
+
+val recv : conn -> Envelope.t list
+(** Drain readable bytes and return every complete envelope, in order.
+    Returns [[]] when nothing is pending.  EOF, a malformed frame or
+    an undecodable envelope kills the connection (frames after the
+    damage are unrecoverable — interning is stateful). *)
+
+val sent_frames : conn -> int
+
+val received_frames : conn -> int
+
+(** {1 Endpoints} *)
+
+val listen : addr -> Unix.file_descr
+(** Bind + listen, nonblocking.  Unix-domain paths are unlinked first;
+    TCP sockets set [SO_REUSEADDR]. *)
+
+val accept : Unix.file_descr -> conn option
+(** Nonblocking accept; [None] when no connection is pending. *)
+
+val dial : ?attempts:int -> ?delay:float -> addr -> conn
+(** Connect with retry: [attempts] tries (default 40) spaced by
+    [delay] seconds (default 0.05) growing 1.5x up to 0.5s — enough
+    patience for a coordinator that is still forking its nodes.
+    Raises [Failure] once exhausted. *)

@@ -30,6 +30,7 @@ type t = {
   config : config;
   faults : Faults.plan;
   mutable deliver : (Msg.t -> unit) option;
+  mutable transport : (Msg.t -> bool) option;
   in_flight : (int, Msg.t) Hashtbl.t;  (** keyed by injection id *)
   mutable next_id : int;
   cut : (int * int, unit) Hashtbl.t;  (** partitioned links (scheduled and manual) *)
@@ -51,6 +52,7 @@ let create ?(faults = Faults.none) ~sched ~rng ~stats ~config () =
       config;
       faults;
       deliver = None;
+      transport = None;
       in_flight = Hashtbl.create 64;
       next_id = 0;
       cut = Hashtbl.create 4;
@@ -85,6 +87,8 @@ let create ?(faults = Faults.none) ~sched ~rng ~stats ~config () =
 let config t = t.config
 
 let set_deliver t f = t.deliver <- Some f
+
+let set_transport t f = t.transport <- Some f
 
 (* One encode per accounted message: the byte count feeds both the
    aggregate and the per-kind counter.  Callers invoke this only for
@@ -177,6 +181,20 @@ let send t (msg : Msg.t) =
   in
   Stats.incr t.stats "net.msg.sent";
   Stats.incr t.stats ("net.msg.sent." ^ Msg.kind msg.payload);
+  let consumed =
+    match t.transport with
+    | Some f ->
+        (* External transport first: a socket driver claims envelopes
+           bound for processes living in other OS processes.  A claimed
+           envelope leaves the simulated network entirely — the
+           transport does its own delivery accounting on the far end. *)
+        let claimed = f msg in
+        if claimed then account t msg;
+        claimed
+    | None -> false
+  in
+  if consumed then ()
+  else
   let key = link_key msg.src msg.dst in
   let drop reason =
     Stats.incr t.stats "net.msg.dropped";

@@ -64,6 +64,19 @@ val set_deliver : t -> (Msg.t -> unit) -> unit
 (** Install the cluster's dispatch function. Must be called before the
     first [send]. *)
 
+val set_transport : t -> (Msg.t -> bool) -> unit
+(** Install an external transport intercept, consulted on every
+    {!send} before the simulated link machinery.  Returning [true]
+    claims the envelope: it leaves the simulated network entirely (no
+    latency draw, no loss model, no local delivery) and becomes the
+    transport's responsibility — the socket driver claims every
+    envelope addressed to a process hosted by another OS process and
+    ships it as a {!Adgc_serial.Net_codec} frame.  Returning [false]
+    leaves the envelope on the normal simulated path (how
+    self-addressed DGC traffic still gets its local delivery).
+    Claimed envelopes are byte-accounted like delivered ones when
+    [account_bytes] is set. *)
+
 val send : t -> Msg.t -> unit
 (** Draw latency/drop/duplication fate and schedule delivery.
     Self-addressed messages are delivered with latency too (a

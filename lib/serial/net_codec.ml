@@ -116,3 +116,32 @@ let decode s =
   if not (Wire.Reader.at_end r) then
     raise (Wire.Malformed { offset = Wire.Reader.pos r; what = "trailing bytes" });
   v
+
+(* Per-connection interning: the same write/read core, but the intern
+   tables outlive individual values, so a long-lived ordered stream
+   (one TCP/Unix connection) sends each record/field name once for the
+   whole connection instead of once per frame.  Sound only over a
+   lossless, ordered transport — a skipped or reordered frame would
+   desynchronize the two tables, which is why the datagram-style
+   [encode]/[decode] above keep their per-message tables. *)
+module Stream = struct
+  type writer = intern_w
+
+  let writer () = { tbl = Hashtbl.create 64; next = 0 }
+
+  let encode intern v =
+    let w = Wire.Writer.create ~initial:1024 () in
+    write w intern v;
+    Wire.Writer.contents w
+
+  type reader = intern_r
+
+  let reader () = { names = [||]; count = 0 }
+
+  let decode intern s =
+    let r = Wire.Reader.of_string s in
+    let v = read r intern in
+    if not (Wire.Reader.at_end r) then
+      raise (Wire.Malformed { offset = Wire.Reader.pos r; what = "trailing bytes" });
+    v
+end

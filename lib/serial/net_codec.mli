@@ -9,3 +9,37 @@
     Rotor's. *)
 
 include Codec.S
+
+(** {1 Per-connection interning}
+
+    [encode]/[decode] above are datagram-shaped: each message carries
+    its own interning table, so every frame re-sends every name.  A
+    long-lived ordered byte stream (one TCP/Unix-domain connection)
+    can do better: hoist the tables to connection scope and each
+    distinct record/field name crosses the wire once per {e
+    connection}.  The two ends must process frames in transmission
+    order with none missing — the transport guarantees that; after a
+    reconnect both sides start fresh state.  A {!Wire.Malformed}
+    decode leaves the reader state unspecified: reset the connection
+    rather than attempting to resynchronize. *)
+
+module Stream : sig
+  type writer
+
+  val writer : unit -> writer
+  (** Fresh per-connection encoder state. *)
+
+  val encode : writer -> Sval.t -> string
+  (** Encode one value, remembering every name written so far on this
+      connection. *)
+
+  type reader
+
+  val reader : unit -> reader
+  (** Fresh per-connection decoder state. *)
+
+  val decode : reader -> string -> Sval.t
+  (** Decode one frame produced by the {e same-position} [writer] on
+      the other end.
+      @raise Wire.Malformed on corrupted input. *)
+end

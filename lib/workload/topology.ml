@@ -180,6 +180,30 @@ let star_cycles ?(arms = 4) cluster =
   in
   finish ctx refs
 
+let pairs cluster =
+  let n = Cluster.n_procs cluster in
+  need cluster 2 "pairs";
+  let ctx = start cluster in
+  let refs = ref [] in
+  (* Each process pair carries its own independent two-party garbage
+     cycle — no object is shared between pairs, so crashing one rank
+     leaves every other pair's cycle fully collectable. *)
+  for k = 0 to (n / 2) - 1 do
+    let p = 2 * k and q = (2 * k) + 1 in
+    let a = add ctx ~proc:p (Printf.sprintf "a%d" k) in
+    let b = add ctx ~proc:q (Printf.sprintf "b%d" k) in
+    refs := remote ctx a b :: remote ctx b a :: !refs
+  done;
+  (* One rooted local object per process keeps every heap's live set
+     non-empty. *)
+  for p = 0 to n - 1 do
+    let r = add ctx ~proc:p (Printf.sprintf "r%d" p) in
+    let c = add ctx ~proc:p (Printf.sprintf "c%d" p) in
+    local ctx r c;
+    Mutator.add_root cluster r
+  done;
+  finish ctx (List.rev !refs)
+
 let lattice cluster ~rows ~cols =
   if rows < 1 || cols < 2 then invalid_arg "Topology.lattice: need rows >= 1 and cols >= 2";
   need cluster cols "lattice";

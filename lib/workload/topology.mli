@@ -70,6 +70,14 @@ val star_cycles : ?arms:int -> Cluster.t -> built
     a stress test for [ScionsTo] bookkeeping and algebra growth.
     Entirely garbage on return; needs [>= arms + 1] processes. *)
 
+val pairs : Cluster.t -> built
+(** One independent two-party garbage cycle per process pair
+    ((0,1), (2,3), ...), plus a rooted local object with a child on
+    every process.  Nothing is shared between pairs, so crashing one
+    rank leaves every other pair's cycle collectable — the workload
+    the socket driver's crash tests assert survivor progress on.
+    Needs [>= 2] processes; an odd last rank gets only live objects. *)
+
 val lattice : Cluster.t -> rows:int -> cols:int -> built
 (** A [rows x cols] grid of objects, one process per column; each node
     points right and down, and the last column points back to the

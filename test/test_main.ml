@@ -25,4 +25,7 @@ let () =
       Test_schema.suite;
       Test_mc.suite;
       Test_oracle.suite;
+      Test_net_frame.suite;
+      Test_net_conformance.suite;
+      Test_net_fault.suite;
     ]

@@ -1,0 +1,257 @@
+(* The socket wire format: 4-byte length-prefixed frames around
+   per-connection interned Net_codec payloads.  Everything the driver
+   ships must round-trip; damaged input may only ever surface as
+   Wire.Malformed (or a poisoned decoder), never as a crash; and
+   frames must reassemble identically however read() splits them. *)
+
+module Sval = Adgc_serial.Sval
+module Wire = Adgc_serial.Wire
+module Net_codec = Adgc_serial.Net_codec
+module Frame = Adgc_net.Frame
+module Envelope = Adgc_net.Envelope
+module Gather = Adgc_net.Gather
+module Msg = Adgc_rt.Msg
+open Adgc_algebra
+
+let check = Alcotest.check
+
+let sval = Alcotest.testable Sval.pp Sval.equal
+
+let oid owner serial = Oid.make ~owner:(Proc_id.of_int owner) ~serial
+
+let key src target = Ref_key.make ~src:(Proc_id.of_int src) ~target
+
+let algebra =
+  List.fold_left
+    (fun alg (role, k, ic) ->
+      match Algebra.add alg role k ~ic with
+      | Algebra.Added alg -> alg
+      | Algebra.Ic_conflict _ -> alg)
+    Algebra.empty
+    [
+      (Algebra.Source, key 0 (oid 1 1), 2);
+      (Algebra.Target, key 1 (oid 2 3), 0);
+      (Algebra.Source, key 2 (oid 0 5), 1);
+    ]
+
+(* One of every payload constructor, Batch included. *)
+let sample_payloads : Msg.payload list =
+  let flat =
+    [
+      Msg.Rmi_request { req_id = 7; target = oid 1 2; args = [ oid 0 1; oid 2 9 ]; stub_ic = 3 };
+      Msg.Rmi_reply { req_id = 7; target = oid 1 2; results = [ oid 1 4 ] };
+      Msg.Export_notice { notice_id = 11; target = oid 2 1; new_holder = Proc_id.of_int 3 };
+      Msg.Export_ack { notice_id = 11; target = oid 2 1; new_holder = Proc_id.of_int 3 };
+      Msg.New_set_stubs
+        {
+          seqno = 4;
+          targets = Oid.Map.add (oid 3 1) 2 (Oid.Map.add (oid 3 2) 0 Oid.Map.empty);
+        };
+      Msg.Scion_probe;
+      Msg.Cdm
+        (Cdm.make
+           ~id:(Detection_id.make ~initiator:(Proc_id.of_int 1) ~seq:5)
+           ~algebra ~frontier:(key 0 (oid 1 1)) ~hops:2 ~budget:16);
+      Msg.Cdm_delete
+        {
+          id = Detection_id.make ~initiator:(Proc_id.of_int 2) ~seq:9;
+          scions = [ key 0 (oid 1 1); key 1 (oid 2 3) ];
+        };
+      Msg.Bt
+        (Btmsg.Query
+           {
+             trace = { Btmsg.initiator = Proc_id.of_int 0; seq = 3 };
+             subject = key 1 (oid 0 2);
+             visited = [ key 0 (oid 1 1) ];
+           });
+      Msg.Bt
+        (Btmsg.Reply
+           {
+             trace = { Btmsg.initiator = Proc_id.of_int 0; seq = 3 };
+             subject = key 1 (oid 0 2);
+             verdict = Btmsg.Rooted;
+           });
+      Msg.Hughes (Hmsg.Stamp [ (oid 0 1, 12); (oid 1 2, 9) ]);
+      Msg.Hughes (Hmsg.Report { round_time = 400 });
+      Msg.Hughes (Hmsg.Threshold { value = 250 });
+    ]
+  in
+  flat @ [ Msg.Batch flat ]
+
+let sample_envelopes : Envelope.t list =
+  let net_msgs =
+    List.mapi
+      (fun i p ->
+        Envelope.Net_msg
+          (Msg.make ~seq:i ~src:(Proc_id.of_int (i mod 4)) ~dst:(Proc_id.of_int 3) ~sent_at:(i * 10)
+             p))
+      sample_payloads
+  in
+  net_msgs
+  @ [
+      Envelope.Hello { rank = 2; procs = 4; seed = 42 };
+      Envelope.Start;
+      Envelope.Heartbeat { tick = 12345 };
+      Envelope.Status_req;
+      Envelope.Status
+        {
+          st_rank = 1;
+          st_tick = 999;
+          st_ready = true;
+          st_reclaimed = [ oid 1 3; oid 1 7 ];
+          st_wire_sent = 40;
+          st_wire_received = 38;
+          st_dup_ignored = 2;
+        };
+      Envelope.State_req;
+      Envelope.State
+        {
+          Gather.rank = 1;
+          tick = 999;
+          objects =
+            [
+              { Gather.oid = oid 1 0; refs = [ oid 0 1 ]; rooted = true };
+              { Gather.oid = oid 1 1; refs = []; rooted = false };
+            ];
+          stubs = [ { Gather.target = oid 0 1; stub_ic = 2 } ];
+          scions = [ { Gather.key = key 0 (oid 1 0); scion_ic = 1; confirmed = true } ];
+          reclaimed = [ oid 1 9 ];
+          counters = [ ("lgc.runs", 3); ("net.msg.duplicate_ignored", 1) ];
+        };
+      Envelope.Drop_peer 2;
+      Envelope.Shutdown;
+      Envelope.Bye;
+    ]
+
+(* Encode the whole conversation as one connection would: one Stream
+   writer across all frames. *)
+let encoded_stream envelopes =
+  let w = Net_codec.Stream.writer () in
+  List.map (fun e -> Frame.encode (Net_codec.Stream.encode w (Envelope.to_sval e))) envelopes
+
+let decode_all decoder reader =
+  let rec go acc =
+    match Frame.next decoder with
+    | None -> List.rev acc
+    | Some payload -> (
+        let v = Net_codec.Stream.decode reader payload in
+        match Envelope.of_sval v with
+        | Some e -> go (e :: acc)
+        | None -> Alcotest.failf "undecodable envelope: %a" Sval.pp v)
+  in
+  go []
+
+let check_same_envelopes msg expected actual =
+  check Alcotest.int (msg ^ ": count") (List.length expected) (List.length actual);
+  List.iter2
+    (fun e a -> check sval msg (Envelope.to_sval e) (Envelope.to_sval a))
+    expected actual
+
+(* ------------------------------------------------------------------ *)
+
+let test_every_envelope_roundtrips () =
+  let frames = encoded_stream sample_envelopes in
+  let d = Frame.decoder () in
+  let r = Net_codec.Stream.reader () in
+  List.iter (Frame.feed d) frames;
+  check_same_envelopes "roundtrip" sample_envelopes (decode_all d r)
+
+let test_partial_reads_reassemble () =
+  let blob = String.concat "" (encoded_stream sample_envelopes) in
+  List.iter
+    (fun chunk ->
+      let d = Frame.decoder () in
+      let r = Net_codec.Stream.reader () in
+      let acc = ref [] in
+      let i = ref 0 in
+      while !i < String.length blob do
+        let len = Int.min chunk (String.length blob - !i) in
+        Frame.feed d (String.sub blob !i len);
+        i := !i + len;
+        acc := !acc @ decode_all d r
+      done;
+      check_same_envelopes (Printf.sprintf "chunk=%d" chunk) sample_envelopes !acc)
+    [ 1; 2; 3; 7; 64; 4096 ]
+
+let test_truncation_waits_never_crashes () =
+  let frames = encoded_stream sample_envelopes in
+  let blob = String.concat "" frames in
+  (* Every prefix: complete frames come out, the ragged tail stays
+     buffered, nothing raises. *)
+  for cut = 0 to String.length blob - 1 do
+    let d = Frame.decoder () in
+    Frame.feed d (String.sub blob 0 cut);
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Frame.next d with Some _ -> incr n | None -> continue := false
+    done;
+    if !n > List.length frames then Alcotest.fail "more frames than were sent"
+  done
+
+let expect_malformed name f =
+  match f () with
+  | exception Wire.Malformed _ -> ()
+  | _ -> Alcotest.failf "%s: expected Wire.Malformed" name
+
+let test_bad_length_poisons () =
+  let bads =
+    [
+      ("zero length", "\x00\x00\x00\x00");
+      ("negative length", "\xff\xff\xff\xff");
+      ("oversized length", "\x7f\xff\xff\xff");
+    ]
+  in
+  List.iter
+    (fun (name, header) ->
+      let d = Frame.decoder () in
+      Frame.feed d header;
+      expect_malformed (name ^ ": first next") (fun () -> Frame.next d);
+      (* Poisoned for good: the stream position is unrecoverable, so
+         even valid bytes afterwards keep raising. *)
+      Frame.feed d (Frame.encode "hello");
+      expect_malformed (name ^ ": stays poisoned") (fun () -> Frame.next d))
+    bads
+
+let test_corrupt_payload_only_malformed () =
+  let frames = encoded_stream sample_envelopes in
+  let sample = List.nth frames 6 (* the Cdm: deepest structure *) in
+  let header_len = 4 in
+  let payload = String.sub sample header_len (String.length sample - header_len) in
+  for pos = 0 to String.length payload - 1 do
+    let mutated = Bytes.of_string payload in
+    Bytes.set mutated pos (Char.chr (Char.code (Bytes.get mutated pos) lxor 0x55));
+    let r = Net_codec.Stream.reader () in
+    match Net_codec.Stream.decode r (Bytes.to_string mutated) with
+    | v -> ignore (Envelope.of_sval v : Envelope.t option)
+    | exception Wire.Malformed _ -> ()
+  done
+
+let test_frame_encode_rejects_bad_sizes () =
+  (match Frame.encode "" with
+  | exception Wire.Malformed _ -> ()
+  | _ -> Alcotest.fail "empty frame accepted");
+  check Alcotest.bool "max_frame is sane" true (Frame.max_frame >= 1 lsl 20)
+
+let test_decoder_buffered_accounting () =
+  let d = Frame.decoder () in
+  let frame = Frame.encode "abcdef" in
+  Frame.feed d (String.sub frame 0 3);
+  check Alcotest.int "partial bytes buffered" 3 (Frame.buffered d);
+  Frame.feed d (String.sub frame 3 (String.length frame - 3));
+  check Alcotest.bool "frame completes" true (Frame.next d = Some "abcdef");
+  check Alcotest.int "drained" 0 (Frame.buffered d)
+
+let suite =
+  ( "net_frame",
+    [
+      Alcotest.test_case "every envelope roundtrips" `Quick test_every_envelope_roundtrips;
+      Alcotest.test_case "partial reads reassemble" `Quick test_partial_reads_reassemble;
+      Alcotest.test_case "truncation waits, never crashes" `Quick
+        test_truncation_waits_never_crashes;
+      Alcotest.test_case "bad length prefix poisons" `Quick test_bad_length_poisons;
+      Alcotest.test_case "corrupt payload raises only Malformed" `Quick
+        test_corrupt_payload_only_malformed;
+      Alcotest.test_case "encode rejects bad sizes" `Quick test_frame_encode_rejects_bad_sizes;
+      Alcotest.test_case "decoder buffered accounting" `Quick test_decoder_buffered_accounting;
+    ] )

@@ -419,6 +419,55 @@ let test_payload_decoder_rejects () =
   | Some p -> check Alcotest.bool "batch roundtrip" true (payload_equal batch p)
   | None -> Alcotest.fail "valid batch rejected"
 
+(* Per-connection interning (Net_codec.Stream): record and field names
+   cross a connection once, so the second frame of the same shape must
+   be strictly smaller than the first — and exactly as small as the
+   tail of a single-buffer encoding of both values.  A one-shot encode
+   (fresh tables per message) must cost the full names every time. *)
+let test_net_stream_interning_shrinks () =
+  let status rank tick =
+    Sval.Record
+      ( "status",
+        [
+          ("rank", Sval.Int rank);
+          ("tick", Sval.Int tick);
+          ("ready", Sval.Bool true);
+          ("reclaimed", Sval.List []);
+        ] )
+  in
+  let w = Adgc_serial.Net_codec.Stream.writer () in
+  let f1 = Adgc_serial.Net_codec.Stream.encode w (status 1 100) in
+  let f2 = Adgc_serial.Net_codec.Stream.encode w (status 2 200) in
+  check Alcotest.bool
+    (Printf.sprintf "second frame smaller (%d < %d)" (String.length f2) (String.length f1))
+    true
+    (String.length f2 < String.length f1);
+  (* The names "status"/"rank"/... are 30+ bytes; the interned frame
+     must have shed at least that. *)
+  check Alcotest.bool "shrinks by at least the name bytes" true
+    (String.length f1 - String.length f2 >= 30);
+  let oneshot = Adgc_serial.Net_codec.encode (status 2 200) in
+  check Alcotest.int "one-shot encode pays full names every message"
+    (String.length f1) (String.length oneshot);
+  let r = Adgc_serial.Net_codec.Stream.reader () in
+  check sval "stream decode 1" (status 1 100) (Adgc_serial.Net_codec.Stream.decode r f1);
+  check sval "stream decode 2" (status 2 200) (Adgc_serial.Net_codec.Stream.decode r f2)
+
+(* Interned stream frames are only decodable in order — frame 2 read
+   by a fresh reader must raise Malformed, never crash or misdecode:
+   exactly why a reconnect gets fresh codec state. *)
+let test_net_stream_frames_are_order_dependent () =
+  let v n = Sval.Record ("heartbeat", [ ("tick", Sval.Int n) ]) in
+  let w = Adgc_serial.Net_codec.Stream.writer () in
+  let _f1 = Adgc_serial.Net_codec.Stream.encode w (v 1) in
+  let f2 = Adgc_serial.Net_codec.Stream.encode w (v 2) in
+  let fresh = Adgc_serial.Net_codec.Stream.reader () in
+  match Adgc_serial.Net_codec.Stream.decode fresh f2 with
+  | exception Wire.Malformed _ -> ()
+  | decoded ->
+      check Alcotest.bool "fresh reader must not silently misdecode" false
+        (Sval.equal decoded (v 2))
+
 let suite =
   ( "serial",
     [
@@ -438,6 +487,10 @@ let suite =
       Alcotest.test_case "net: rejects trailing bytes" `Quick test_net_rejects_trailing;
       Alcotest.test_case "rotor: rejects missing checksum" `Quick test_rotor_rejects_missing_checksum;
       Alcotest.test_case "net: name interning" `Quick test_net_interning_shares_names;
+      Alcotest.test_case "net: stream interning shrinks later frames" `Quick
+        test_net_stream_interning_shrinks;
+      Alcotest.test_case "net: stream frames are order-dependent" `Quick
+        test_net_stream_frames_are_order_dependent;
       Alcotest.test_case "sval: size_nodes" `Quick test_size_nodes;
       qcheck_roundtrip rotor "qcheck rotor roundtrip";
       qcheck_roundtrip net "qcheck net roundtrip";
