@@ -1,0 +1,83 @@
+(* Engine section: the domain-parallel execution engine vs the
+   sequential one on the process-local bulk phases (snapshot
+   summarization + CDM scans), with the byte-equality contract
+   checked on every run.
+
+   Numbers are honest about the substrate: the document records the
+   host's core count and worker-domain count, and on a single-core
+   host (this repo's usual CI container) the parallel engine can only
+   lose — the point of the run there is the equality assertion, not
+   the speedup.  Set ADGC_POOL_DOMAINS to choose the worker count. *)
+
+module Sim = Adgc.Sim
+module Config = Adgc.Config
+module Table = Adgc_util.Table
+module Topology = Adgc_workload.Topology
+open Bench_common
+
+let engine_run ~engine ~procs ~objects ~seed ~reps =
+  let config = { (Config.quick ~seed ~n_procs:procs ()) with Config.engine } in
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+  let rng = Adgc_util.Rng.create (seed + 1) in
+  let _built =
+    Topology.random cluster ~rng ~objects ~edges:(2 * objects) ~remote_prob:0.05
+      ~root_prob:0.02
+  in
+  let round () =
+    Sim.snapshot_all sim;
+    ignore (Sim.scan_all sim : int)
+  in
+  let samples = times ~reps round in
+  Sim.teardown sim;
+  let metrics = Adgc_util.Json.to_string (Adgc_obs.Export.metrics_document (Sim.stats sim)) in
+  let spans = Adgc_obs.Export.span_digest (Sim.obs sim) in
+  (samples, metrics, spans)
+
+let run recorder =
+  section "E22: execution engines — sequential vs domain-parallel bulk phases";
+  let procs, objects = if smoke () then (8, 4_000) else (64, 100_000) in
+  let reps = if smoke () then 3 else 5 in
+  let seed = 23 in
+  let seq, seq_metrics, seq_spans = engine_run ~engine:Config.Seq ~procs ~objects ~seed ~reps in
+  let par, par_metrics, par_spans = engine_run ~engine:Config.Par ~procs ~objects ~seed ~reps in
+  let seq_ms = median seq and par_ms = median par in
+  let workers = Adgc_util.Pool.size (Adgc_util.Pool.shared ()) - 1 in
+  Adgc_util.Pool.shutdown_shared ();
+  let cores = Domain.recommended_domain_count () in
+  let metrics_match = seq_metrics = par_metrics in
+  let spans_match = seq_spans = par_spans in
+  Table.print
+    ~header:[ "engine"; "snapshot+scan round"; "speedup" ]
+    ~rows:
+      [
+        [ "seq"; Printf.sprintf "%.2f ms" seq_ms; "1.00x" ];
+        [ "par"; Printf.sprintf "%.2f ms" par_ms; Printf.sprintf "%.2fx" (seq_ms /. par_ms) ];
+      ]
+    ();
+  Printf.printf
+    "%d procs, %d objects; host: %d core%s, %d worker domain%s\n\
+     byte-equality: metrics %s, span digest %s\n"
+    procs objects cores
+    (if cores = 1 then "" else "s")
+    workers
+    (if workers = 1 then "" else "s")
+    (if metrics_match then "identical" else "DIFFER")
+    (if spans_match then "identical" else "DIFFER");
+  let config =
+    [ "engine"; string_of_int procs; string_of_int objects; string_of_int reps;
+      string_of_int seed ]
+  in
+  timing recorder ~section:"engine" ~name:"engine.seq.round_ms" ~unit_:"ms" ~config seq;
+  timing recorder ~section:"engine" ~name:"engine.par.round_ms" ~unit_:"ms" ~config par;
+  timing recorder ~section:"engine" ~name:"engine.par.speedup" ~unit_:"x"
+    ~direction:Sample.Higher_better ~config
+    [ seq_ms /. par_ms ];
+  det recorder ~section:"engine" ~name:"engine.identical.metrics" ~unit_:"bool"
+    ~direction:Sample.Higher_better ~config
+    (if metrics_match then 1.0 else 0.0);
+  det recorder ~section:"engine" ~name:"engine.identical.span_digest" ~unit_:"bool"
+    ~direction:Sample.Higher_better ~config
+    (if spans_match then 1.0 else 0.0);
+  if not (metrics_match && spans_match) then
+    failwith "engine equivalence violated: par output differs from seq"

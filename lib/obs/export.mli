@@ -22,6 +22,15 @@ val span_digest : Span.t -> string
 (** Hex digest of {!jsonl}: a compact fingerprint of the whole span
     timeline for replay comparisons. *)
 
+val percentiles :
+  ?ps:float list -> Adgc_util.Stats.t -> string -> (float * float) list option
+(** [(p, value)] pairs (default ps = [\[50; 90; 99\]]) extracted from
+    the named observed histogram via
+    {!Adgc_util.Stats.histogram_percentile}; [None] when the
+    histogram was never observed.  This is the API the perf harness
+    draws its latency-percentile series (e.g. p99
+    [dcda.detection_latency]) from. *)
+
 val schema_version : int
 
 val metrics_document : ?meta:(string * Json.t) list -> Adgc_util.Stats.t -> Json.t

@@ -1,0 +1,57 @@
+(** The statistics-hardened baseline comparator.
+
+    Series are paired by sample name across the whole document; each
+    pair gets a verdict from a noise model with three widening terms
+    — a relative threshold, a stddev-scaled tolerance, a min-effect
+    floor — plus hard SLO ceilings for latency series that must never
+    drift past an absolute bound regardless of the baseline. *)
+
+type verdict =
+  | Improved  (** better than baseline beyond the noise band *)
+  | Unchanged  (** within the noise band *)
+  | Regressed  (** worse beyond the noise band, or an SLO breach *)
+  | Missing  (** in the baseline, absent from the current run *)
+  | New  (** in the current run, absent from the baseline *)
+
+val verdict_to_string : verdict -> string
+
+type tolerance = {
+  rel : float;  (** relative threshold as a fraction of the baseline median *)
+  stddev_mult : float;  (** multiples of the noisier side's stddev *)
+  min_effect : float;  (** absolute floor (in the sample's unit) below which nothing flags *)
+  relax : float;
+      (** extra multiplier on [Timing]-class tolerances for slow or
+          1-core runners; [Deterministic] series are never relaxed *)
+}
+
+val default_tolerance : tolerance
+(** [{rel = 0.10; stddev_mult = 3.0; min_effect = 1.0; relax = 1.0}] *)
+
+type finding = {
+  name : string;
+  verdict : verdict;
+  base : Sample.t option;
+  current : Sample.t option;
+  ratio : float option;  (** current/baseline median when defined *)
+  slo_violated : bool;
+  detail : string;
+}
+
+val compare_docs :
+  ?tol:tolerance -> baseline:Results.t -> current:Results.t -> unit -> finding list
+(** One finding per sample name seen on either side, sorted by name.
+    [Missing]/[New] are informational (exit-clean); an SLO breach is
+    [Regressed] even when the sample is [New]. *)
+
+val regressions : finding list -> finding list
+(** The findings that gate: [Regressed] verdicts and SLO breaches. *)
+
+val tally : finding list -> (verdict * int) list
+
+val exit_code : finding list -> int
+(** 0 when {!regressions} is empty, 1 otherwise (2 — usage/IO — is
+    the CLI's to raise). *)
+
+val promote : baseline_path:string -> Results.t -> unit
+(** Overwrite the checked-in baseline with the current document
+    (canonical rendering, so [promote] then [check] is clean). *)

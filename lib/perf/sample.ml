@@ -1,0 +1,119 @@
+module Json = Adgc_util.Json
+
+type direction = Lower_better | Higher_better
+
+type klass = Timing | Deterministic
+
+type t = {
+  name : string;
+  unit_ : string;
+  reps : int;
+  median : float;
+  mean : float;
+  stddev : float;
+  min : float;
+  p99 : float;
+  direction : direction;
+  klass : klass;
+  slo : float option;
+  config_digest : string;
+}
+
+let direction_to_string = function Lower_better -> "lower" | Higher_better -> "higher"
+
+let direction_of_string = function
+  | "lower" -> Some Lower_better
+  | "higher" -> Some Higher_better
+  | _ -> None
+
+let klass_to_string = function Timing -> "timing" | Deterministic -> "deterministic"
+
+let klass_of_string = function
+  | "timing" -> Some Timing
+  | "deterministic" -> Some Deterministic
+  | _ -> None
+
+(* Descriptive statistics over raw repetition measurements; the
+   nearest-rank p99 of a handful of reps is just the max, which is
+   exactly what a gate wants to see. *)
+let stddev_of values mean =
+  match values with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let n = float_of_int (List.length values) in
+      let var =
+        List.fold_left (fun acc v -> acc +. ((v -. mean) *. (v -. mean))) 0.0 values /. n
+      in
+      sqrt var
+
+let of_values ~name ~unit_ ~direction ~klass ?slo ~config_digest values =
+  match values with
+  | [] -> invalid_arg "Sample.of_values: empty"
+  | _ ->
+      let sorted = List.sort Float.compare values in
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let median = arr.(n / 2) in
+      let mean = List.fold_left ( +. ) 0.0 values /. float_of_int n in
+      let rank p = Int.max 0 (Int.min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)) in
+      {
+        name;
+        unit_;
+        reps = n;
+        median;
+        mean;
+        stddev = stddev_of values mean;
+        min = arr.(0);
+        p99 = arr.(rank 99.0);
+        direction;
+        klass;
+        slo;
+        config_digest;
+      }
+
+let scalar ~name ~unit_ ~direction ~klass ?slo ~config_digest v =
+  of_values ~name ~unit_ ~direction ~klass ?slo ~config_digest [ v ]
+
+let to_json s =
+  Json.obj_sorted
+    ([
+       ("name", Json.Str s.name);
+       ("unit", Json.Str s.unit_);
+       ("reps", Json.Int s.reps);
+       ("median", Json.of_float s.median);
+       ("mean", Json.of_float s.mean);
+       ("stddev", Json.of_float s.stddev);
+       ("min", Json.of_float s.min);
+       ("p99", Json.of_float s.p99);
+       ("direction", Json.Str (direction_to_string s.direction));
+       ("class", Json.Str (klass_to_string s.klass));
+       ("config_digest", Json.Str s.config_digest);
+     ]
+    @ match s.slo with Some v -> [ ("slo", Json.of_float v) ] | None -> [])
+
+let member k = function Json.Obj fields -> List.assoc_opt k fields | _ -> None
+
+let float_member k j =
+  match member k j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some Json.Null -> Some Float.nan
+  | Some _ | None -> None
+
+let str_member k j = match member k j with Some (Json.Str s) -> Some s | _ -> None
+
+let of_json j =
+  let ( let* ) o f = match o with Some v -> f v | None -> Error "malformed sample" in
+  let* name = str_member "name" j in
+  let* unit_ = str_member "unit" j in
+  let* reps = match member "reps" j with Some (Json.Int i) -> Some i | _ -> None in
+  let* median = float_member "median" j in
+  let* mean = float_member "mean" j in
+  let* stddev = float_member "stddev" j in
+  let* min = float_member "min" j in
+  let* p99 = float_member "p99" j in
+  let* direction = Option.bind (str_member "direction" j) direction_of_string in
+  let* klass = Option.bind (str_member "class" j) klass_of_string in
+  let* config_digest = str_member "config_digest" j in
+  let slo = float_member "slo" j in
+  Ok { name; unit_; reps; median; mean; stddev; min; p99; direction; klass; slo; config_digest }

@@ -80,7 +80,18 @@ val observe : t -> string -> float -> unit
     the name is unknown.  A value [v] lands in the first bucket with
     [v <= bound], or in the overflow slot. *)
 
+val histogram_percentile : histogram -> float -> float
+(** Nearest-rank percentile, [p] in [\[0,100\]], to bucket
+    granularity: the upper bound of the bucket holding the rank (the
+    conservative answer for a latency gate).  [nan] when the
+    histogram is empty; [infinity] when the rank lands in the
+    overflow bucket. *)
+
 val histogram_opt : t -> string -> histogram option
+
+val observed_percentile : t -> string -> float -> float option
+(** [histogram_percentile] of the named histogram, or [None] when no
+    such histogram was ever observed. *)
 
 val histograms : t -> (string * histogram) list
 (** Sorted by name. *)

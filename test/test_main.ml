@@ -28,4 +28,6 @@ let () =
       Test_net_frame.suite;
       Test_net_conformance.suite;
       Test_net_fault.suite;
+      Test_perf.suite;
+      Test_bench.suite;
     ]
