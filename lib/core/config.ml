@@ -18,6 +18,26 @@ let engine_of_env () =
   | Some s -> ( match engine_of_string s with Some e -> e | None -> Seq)
   | None -> Seq
 
+type candidates_kind = Scan_candidates | Incremental_candidates
+
+let candidates_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "scan" | "full" | "full_scan" -> Some Scan_candidates
+  | "incremental" | "inc" -> Some Incremental_candidates
+  | _ -> None
+
+let candidates_to_string = function
+  | Scan_candidates -> "scan"
+  | Incremental_candidates -> "incremental"
+
+(* Mirror of the engine matrix: ADGC_CANDIDATES steers whole test
+   binaries through the environment, and an unrecognised value falls
+   back to the full-scan oracle path. *)
+let candidates_of_env () =
+  match Sys.getenv_opt "ADGC_CANDIDATES" with
+  | Some s -> ( match candidates_of_string s with Some c -> c | None -> Scan_candidates)
+  | None -> Scan_candidates
+
 type t = {
   seed : int;
   n_procs : int;
@@ -33,6 +53,7 @@ type t = {
   bt_idle_threshold : int;
   telemetry : bool;
   engine : engine_kind;
+  candidates : candidates_kind;
 }
 
 let default ?(seed = 42) ?(n_procs = 4) () =
@@ -51,6 +72,7 @@ let default ?(seed = 42) ?(n_procs = 4) () =
     bt_idle_threshold = 2_000;
     telemetry = false;
     engine = engine_of_env ();
+    candidates = candidates_of_env ();
   }
 
 let quick ?(seed = 42) ?(n_procs = 4) () =

@@ -28,6 +28,27 @@ val engine_of_env : unit -> engine_kind
     engine matrix can steer whole test binaries without touching
     code. *)
 
+type candidates_kind =
+  | Scan_candidates
+      (** DCDA scans seed from every scion of the published summary
+          (the full-scan oracle path) *)
+  | Incremental_candidates
+      (** DCDA scans seed from the incrementally maintained candidate
+          labels ({!Adgc_dcda.Candidates}), byte-identical to the
+          full scan and pinned so by the audit duty *)
+
+val candidates_of_string : string -> candidates_kind option
+(** Accepts ["scan"]/["full"]/["full_scan"] and
+    ["incremental"]/["inc"], case- and whitespace-insensitively. *)
+
+val candidates_to_string : candidates_kind -> string
+
+val candidates_of_env : unit -> candidates_kind
+(** Mode selected by the [ADGC_CANDIDATES] environment variable
+    ([Scan_candidates] when unset or unrecognised).  {!default} uses
+    this, so the CI candidates matrix can steer whole test binaries
+    without touching code — the mirror of {!engine_of_env}. *)
+
 type t = {
   seed : int;
   n_procs : int;
@@ -52,6 +73,10 @@ type t = {
       (** execution engine for the bulk per-process operations driven
           by {!Sim} (default: {!engine_of_env}, i.e. [Seq] unless
           [ADGC_ENGINE] says otherwise) *)
+  candidates : candidates_kind;
+      (** candidate source for DCDA scans (default:
+          {!candidates_of_env}, i.e. [Scan_candidates] unless
+          [ADGC_CANDIDATES] says otherwise) *)
 }
 
 val default : ?seed:int -> ?n_procs:int -> unit -> t

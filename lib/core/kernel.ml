@@ -4,9 +4,10 @@ type ctx = {
   rt : Runtime.t;
   store : Adgc_snapshot.Snapshot_store.t;
   scan_proc : int -> int;
+  maintain_proc : int -> unit;
 }
 
-type duty = Snapshot of int | Scan of int | Lgc of int | Send_sets of int
+type duty = Snapshot of int | Scan of int | Lgc of int | Send_sets of int | Maintain_candidates of int
 
 let proc ctx i = ctx.rt.Runtime.procs.(i)
 
@@ -16,3 +17,4 @@ let run_duty ctx = function
   | Scan i -> ignore (ctx.scan_proc i : int)
   | Lgc i -> ignore (Adgc_rt.Lgc.run ctx.rt (proc ctx i) : Adgc_rt.Lgc.report)
   | Send_sets i -> Reflist.send_new_sets ctx.rt (proc ctx i)
+  | Maintain_candidates i -> ctx.maintain_proc i

@@ -2,9 +2,10 @@
 
     A {e duty} is one voluntary protocol action of one process — take
     a snapshot, scan for candidates, run the local collector, send
-    stub sets.  Together with message delivery ({!Adgc_rt.Dispatch})
-    these four transitions are the complete per-process protocol
-    kernel: everything else is scheduling.
+    stub sets, audit the incremental candidate labels.  Together with
+    message delivery ({!Adgc_rt.Dispatch}) these transitions are the
+    complete per-process protocol kernel: everything else is
+    scheduling.
 
     Both drivers execute duties through this single definition: the
     timed simulator's periodic timers ({!Sim.start},
@@ -20,10 +21,20 @@ type ctx = {
       (** run one candidate scan on process [i]'s detector, returning
           detections started (supplied by the simulator, which owns
           the detector instances) *)
+  maintain_proc : int -> unit;
+      (** run the low-frequency full-scan audit of process [i]'s
+          incremental candidate labels
+          ({!Adgc_dcda.Detector.audit_candidates}); a no-op for
+          detectors without a maintainer *)
 }
 (** Everything a duty needs; build one with {!Sim.kernel_ctx}. *)
 
-type duty = Snapshot of int | Scan of int | Lgc of int | Send_sets of int
+type duty =
+  | Snapshot of int
+  | Scan of int
+  | Lgc of int
+  | Send_sets of int
+  | Maintain_candidates of int
 (** The process index each duty acts on. *)
 
 val run_duty : ctx -> duty -> unit

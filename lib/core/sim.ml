@@ -35,8 +35,15 @@ let create ?config () =
   let detectors =
     match config.Config.detector with
     | Config.Dcda ->
+        let candidates_mode =
+          match config.Config.candidates with
+          | Config.Scan_candidates -> Detector.Full_scan
+          | Config.Incremental_candidates -> Detector.Incremental
+        in
         let arr =
-          Array.map (fun p -> Detector.attach rt p ~policy:config.Config.policy) rt.Runtime.procs
+          Array.map
+            (fun p -> Detector.attach ~candidates_mode rt p ~policy:config.Config.policy)
+            rt.Runtime.procs
         in
         Snapshot_store.subscribe store (fun summary ->
             let i = Proc_id.to_int summary.Adgc_snapshot.Summary.proc in
@@ -104,8 +111,22 @@ let scan_one t i =
   | Bt_instances arr -> Backtrack.scan arr.(i) ~idle_threshold:t.config.Config.bt_idle_threshold
   | Nothing -> 0
 
+(* The audit duty body: full-scan re-derivation of process [i]'s
+   candidate labels.  Runs under every mode (the stats it writes must
+   not depend on the mode) but only for the DCDA — the baselines have
+   no candidate pipeline to audit. *)
+let maintain_one t i =
+  match t.detectors with
+  | Dcda_instances arr -> ignore (Detector.audit_candidates arr.(i) : bool)
+  | Bt_instances _ | Nothing -> ()
+
 let kernel_ctx t =
-  { Kernel.rt = rt t; store = t.store; scan_proc = (fun i -> scan_one t i) }
+  {
+    Kernel.rt = rt t;
+    store = t.store;
+    scan_proc = (fun i -> scan_one t i);
+    maintain_proc = (fun i -> maintain_one t i);
+  }
 
 let scan_all t =
   match t.detectors with
@@ -144,7 +165,12 @@ let start t =
         Scheduler.every sched ~phase:(1 + (i * scan_period / n)) ~period:scan_period (fun () ->
             if p.Process.alive then Kernel.run_duty ctx (Kernel.Scan i))
       in
-      handles := h1 :: h2 :: !handles
+      let audit_period = policy.Adgc_dcda.Policy.candidate_audit_period in
+      let h3 =
+        Scheduler.every sched ~phase:(1 + (i * audit_period / n)) ~period:audit_period (fun () ->
+            if p.Process.alive then Kernel.run_duty ctx (Kernel.Maintain_candidates i))
+      in
+      handles := h1 :: h2 :: h3 :: !handles
     done;
     t.handles <- !handles
   end
@@ -190,23 +216,28 @@ let garbage_count t = Oid.Set.cardinal (Cluster.garbage t.cluster)
 
 let live_oids t = Cluster.globally_live t.cluster
 
-(* Staleness signature for [run_until_clean].  Ground-truth garbage is
-   a function of the heaps, the root sets, which processes are alive
-   and the live refs of in-flight reference-carrying messages — so if
-   none of those inputs moved between polls, neither did the answer.
-   We fold the inputs into one monotone counter: per-heap mutation
-   counters (every reachability-relevant heap change bumps one),
-   crash/restart counts (aliveness), and sent+delivered+dropped counts
-   for every ref-carrying message kind (each in-flight message bumps
-   "sent" on entering the window and exactly one of the other two on
-   leaving it, so any change to the in-flight set changes the sum). *)
+(* Staleness signature for [run_until_clean].  The poll only waits for
+   one transition — the garbage count reaching zero — so the signature
+   need only move when garbage can have been {e reclaimed}, not on
+   every reachability-relevant change.  Per-heap we therefore fold
+   [Heap.reclaim_mutations] (sweeps and reattachments), not
+   [Heap.mutations]: local-only churn that can merely {e create}
+   garbage (allocation, reference clears, root drops) leaves a cached
+   nonzero count conservatively stale, which is sound because a
+   nonzero answer keeps the poll running either way.  Aliveness still
+   matters both ways (a crash orphans a dead process's objects out of
+   the ground truth), so crash/restart counts stay in, as do the
+   sent+delivered+dropped counts for every ref-carrying message kind
+   (each in-flight message bumps "sent" on entering the window and
+   exactly one of the other two on leaving it, so any change to the
+   in-flight set changes the sum). *)
 let ref_carrying_kinds = [ "rmi_request"; "rmi_reply"; "export_notice"; "export_ack"; "batch" ]
 
 let reach_signature t =
   let rt = rt t in
   let stats = Cluster.stats t.cluster in
   let acc = ref 0 in
-  Array.iter (fun p -> acc := !acc + Heap.mutations p.Process.heap) rt.Runtime.procs;
+  Array.iter (fun p -> acc := !acc + Heap.reclaim_mutations p.Process.heap) rt.Runtime.procs;
   acc := !acc + Adgc_util.Stats.get stats "cluster.crashes";
   acc := !acc + Adgc_util.Stats.get stats "cluster.restarts";
   List.iter

@@ -1,0 +1,235 @@
+open Adgc_algebra
+open Adgc_rt
+module Stats = Adgc_util.Stats
+
+type t = {
+  proc : Process.t;
+  stats : Stats.t option;
+  region : unit Oid.Tbl.t; (* local objects labelled root-reachable *)
+  scion_keys : Ref_key.Set.t Oid.Tbl.t; (* local target -> scions on it *)
+  candidates : unit Ref_key.Tbl.t; (* scions whose target is outside the region *)
+  mutable stale : bool; (* a cut invalidated the region; rebuild deferred *)
+  mutable published : Ref_key.t list; (* frozen at the last summary publish *)
+  mutable rebuilds : int;
+  mutable label_updates : int;
+}
+
+let proc_id t = t.proc.Process.id
+
+let stale t = t.stale
+
+let region_size t = Oid.Tbl.length t.region
+
+let candidate_count t = Ref_key.Tbl.length t.candidates
+
+let rebuilds t = t.rebuilds
+
+let label_updates t = t.label_updates
+
+let incr t name = match t.stats with Some s -> Stats.incr s name | None -> ()
+
+let add t name n = match t.stats with Some s -> Stats.add s name n | None -> ()
+
+let observe t name v = match t.stats with Some s -> Stats.observe s name v | None -> ()
+
+let heap t = t.proc.Process.heap
+
+let in_region t oid = Oid.Tbl.mem t.region oid
+
+let is_local t oid = Proc_id.equal (Oid.owner oid) (proc_id t)
+
+(* Scions on a freshly reachable target stop being candidates. *)
+let label_reachable t oid =
+  t.label_updates <- t.label_updates + 1;
+  Oid.Tbl.replace t.region oid ();
+  match Oid.Tbl.find_opt t.scion_keys oid with
+  | None -> ()
+  | Some keys ->
+      Ref_key.Set.iter
+        (fun key ->
+          if Ref_key.Tbl.mem t.candidates key then begin
+            Ref_key.Tbl.remove t.candidates key;
+            incr t "dcda.candidates.flips"
+          end)
+        keys
+
+(* Eager insert path: a new edge from inside the region made [start]
+   reachable — label exactly the newly reachable area with one
+   bounded BFS.  Cost is the number of edges examined, reported to
+   the update-cost histogram; on insert-only churn this is the only
+   work the maintainer ever does. *)
+let grow_from t start =
+  let heap = heap t in
+  let queue = Queue.create () in
+  let edges = ref 0 in
+  label_reachable t start;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let oid = Queue.pop queue in
+    match Heap.get heap oid with
+    | None -> ()
+    | Some obj ->
+        Array.iter
+          (function
+            | None -> ()
+            | Some target ->
+                edges := !edges + 1;
+                if is_local t target && (not (in_region t target)) && Heap.mem heap target
+                then begin
+                  label_reachable t target;
+                  Queue.add target queue
+                end)
+          obj.Heap.fields
+  done;
+  add t "dcda.candidates.grow_edges" !edges;
+  observe t "dcda.candidates.update_cost" (float_of_int !edges)
+
+let mark_stale t =
+  if not t.stale then begin
+    t.stale <- true;
+    incr t "dcda.candidates.cuts"
+  end
+
+(* Deferred repair: one root trace relabels everything and the scion
+   index re-derives the candidate set.  This is the only O(heap) step
+   and it runs only after a cut (or a crash recovery) actually
+   invalidated the labels. *)
+let rebuild t =
+  let heap = heap t in
+  let reached = (Heap.trace heap ~from:(Heap.roots heap)).Heap.local in
+  Oid.Tbl.reset t.region;
+  Oid.Set.iter (fun oid -> Oid.Tbl.replace t.region oid ()) reached;
+  Ref_key.Tbl.reset t.candidates;
+  Oid.Tbl.iter
+    (fun target keys ->
+      if not (Oid.Tbl.mem t.region target) then
+        Ref_key.Set.iter (fun key -> Ref_key.Tbl.replace t.candidates key ()) keys)
+    t.scion_keys;
+  t.stale <- false;
+  t.rebuilds <- t.rebuilds + 1;
+  incr t "dcda.candidates.rebuilds"
+
+let refresh t = if t.stale then rebuild t
+
+let on_heap_event t ev =
+  incr t "dcda.candidates.events";
+  (* Gauntlet mutant: the maintainer goes deaf to heap mutations —
+     labels freeze at their last rebuilt state, which the audit (and
+     the mc scope running it as an invariant) must flag. *)
+  if not (Adgc_util.Mc_mutate.enabled "drop_label_updates") then
+    match ev with
+    | Heap.Edge_added (holder, target) ->
+        if
+          (not t.stale) && is_local t target && in_region t holder
+          && (not (in_region t target))
+          && Heap.mem (heap t) target
+        then grow_from t target
+    | Heap.Edge_removed (holder, target) ->
+        (* Cuts outside the region cannot shrink it; cuts inside
+           might (the target may have other reachable holders, which
+           only a retrace can tell). *)
+        if (not t.stale) && is_local t target && in_region t holder && in_region t target
+        then mark_stale t
+    | Heap.Root_added oid ->
+        if (not t.stale) && (not (in_region t oid)) && Heap.mem (heap t) oid then
+          grow_from t oid
+    | Heap.Root_removed oid -> if (not t.stale) && in_region t oid then mark_stale t
+    | Heap.Removed oid ->
+        (* Sweeps only remove unreachable objects, so the region
+           should never contain one; a removal that does hit the
+           region (a test poking the heap directly) invalidates it. *)
+        if (not t.stale) && in_region t oid then mark_stale t
+
+let index_add t key =
+  let target = key.Ref_key.target in
+  let keys =
+    match Oid.Tbl.find_opt t.scion_keys target with
+    | Some keys -> Ref_key.Set.add key keys
+    | None -> Ref_key.Set.singleton key
+  in
+  Oid.Tbl.replace t.scion_keys target keys;
+  if not (in_region t target) then Ref_key.Tbl.replace t.candidates key ()
+
+let index_remove t key =
+  let target = key.Ref_key.target in
+  (match Oid.Tbl.find_opt t.scion_keys target with
+  | None -> ()
+  | Some keys ->
+      let keys = Ref_key.Set.remove key keys in
+      if Ref_key.Set.is_empty keys then Oid.Tbl.remove t.scion_keys target
+      else Oid.Tbl.replace t.scion_keys target keys);
+  Ref_key.Tbl.remove t.candidates key
+
+let on_scion_change t = function
+  | Scion_table.Added key -> index_add t key
+  | Scion_table.Deleted key -> index_remove t key
+
+(* Crash recovery: the revived heap and scion table are authoritative
+   — reseed the index from the live table and force a rebuild, so
+   labels cached across the downtime can never resurrect. *)
+let on_revive t =
+  Oid.Tbl.reset t.scion_keys;
+  Ref_key.Tbl.reset t.candidates;
+  List.iter (fun e -> index_add t e.Scion_table.key) (Scion_table.entries t.proc.Process.scions);
+  t.stale <- true;
+  incr t "dcda.candidates.revive_rebuilds"
+
+let live t =
+  refresh t;
+  Ref_key.Tbl.fold (fun key () acc -> Ref_key.Set.add key acc) t.candidates Ref_key.Set.empty
+
+let note_publish t =
+  refresh t;
+  let keys =
+    Ref_key.Tbl.fold (fun key () acc -> key :: acc) t.candidates []
+    |> List.sort Ref_key.compare
+  in
+  t.published <- keys;
+  observe t "dcda.candidates.set_size" (float_of_int (List.length keys))
+
+let published t = t.published
+
+let audit t =
+  refresh t;
+  incr t "dcda.candidates.audits";
+  (* Independent derivation: fresh root trace over the live heap,
+     candidate status read off the live scion table — deliberately
+     not through this module's own region or index. *)
+  let reached = (Heap.trace (heap t) ~from:(Heap.roots (heap t))).Heap.local in
+  let derived =
+    List.fold_left
+      (fun acc e ->
+        if Oid.Set.mem e.Scion_table.key.Ref_key.target reached then acc
+        else Ref_key.Set.add e.Scion_table.key acc)
+      Ref_key.Set.empty
+      (Scion_table.entries t.proc.Process.scions)
+  in
+  let mine =
+    Ref_key.Tbl.fold (fun key () acc -> Ref_key.Set.add key acc) t.candidates Ref_key.Set.empty
+  in
+  if Ref_key.Set.equal derived mine then None
+  else begin
+    incr t "dcda.candidates.audit_mismatch";
+    Some (Ref_key.Set.diff mine derived, Ref_key.Set.diff derived mine)
+  end
+
+let attach ?stats proc =
+  let t =
+    {
+      proc;
+      stats;
+      region = Oid.Tbl.create 64;
+      scion_keys = Oid.Tbl.create 16;
+      candidates = Ref_key.Tbl.create 16;
+      stale = true;
+      published = [];
+      rebuilds = 0;
+      label_updates = 0;
+    }
+  in
+  List.iter (fun e -> index_add t e.Scion_table.key) (Scion_table.entries proc.Process.scions);
+  rebuild t;
+  Heap.on_event proc.Process.heap (on_heap_event t);
+  Scion_table.on_change proc.Process.scions (on_scion_change t);
+  proc.Process.on_revive <- proc.Process.on_revive @ [ (fun () -> on_revive t) ];
+  t

@@ -5,10 +5,14 @@ module Stats = Adgc_util.Stats
 module Span = Adgc_obs.Span
 module Lineage = Adgc_obs.Lineage
 
+type candidates_mode = Full_scan | Incremental
+
 type t = {
   rt : Runtime.t;
   proc : Process.t;
   policy : Policy.t;
+  mode : candidates_mode;
+  candidates : Candidates.t;
   mutable summary : Summary.t option;
   mutable next_seq : int;
   mutable started : int;
@@ -27,12 +31,20 @@ let policy t = t.policy
 
 let set_summary t summary =
   (* Gauntlet mutant: freeze the first snapshot forever — guards then
-     reason about counters the mutator has since moved past. *)
+     reason about counters the mutator has since moved past.  The
+     candidate maintainer's publish snapshot is skipped too, so the
+     frozen scan source stays coherent with the frozen summary. *)
   match (t.summary, Adgc_util.Mc_mutate.enabled "stale_summaries") with
   | Some _, true -> ()
-  | (Some _ | None), _ -> t.summary <- Some summary
+  | (Some _ | None), _ ->
+      t.summary <- Some summary;
+      Candidates.note_publish t.candidates
 
 let summary t = t.summary
+
+let candidates t = t.candidates
+
+let mode t = t.mode
 
 let reports t = List.rev t.reports
 
@@ -420,7 +432,20 @@ let arrange t candidates =
    detector's own state (tables, cursor, the per-process rng for
    [Random_order]) — never the network, stats or another process —
    so many detectors' scan_prepare may run concurrently under the
-   parallel engine. *)
+   parallel engine.
+
+   The candidate source depends on the mode: [Full_scan] walks every
+   scion of the published summary (the oracle path); [Incremental]
+   walks only the keys the candidate maintainer froze when that same
+   summary was published.  Both lists are in ascending key order and
+   the frozen set equals exactly the summary's not-locally-reachable
+   scions (the audit duty asserts it), so the downstream filters,
+   arrangement, pick and cursor update are byte-identical. *)
+let scan_source t summary =
+  match t.mode with
+  | Full_scan -> Summary.scion_list summary
+  | Incremental -> List.filter_map (Summary.find_scion summary) (Candidates.published t.candidates)
+
 let scan_prepare t =
   match t.summary with
   | None -> []
@@ -443,7 +468,7 @@ let scan_prepare t =
             match Ref_key.Tbl.find_opt t.last_initiated si.Summary.key with
             | Some last -> now - last >= effective_cooldown si.Summary.key
             | None -> true)
-          (Summary.scion_list summary)
+          (scan_source t summary)
       in
       let candidates = arrange t candidates in
       let picked = List.filteri (fun i _ -> i < t.policy.Policy.max_per_scan) candidates in
@@ -461,12 +486,29 @@ let scan_commit t picked =
 
 let scan t = scan_commit t (scan_prepare t)
 
-let attach rt proc ~policy =
+(* The full-scan audit duty: recompute the candidate set from scratch
+   and compare with the maintained one.  Runs in every mode — it is
+   cheap at its low frequency, and keeping it mode-independent keeps
+   the stats table (and with it the metrics document) byte-identical
+   between modes. *)
+let audit_candidates t =
+  match Candidates.audit t.candidates with
+  | None -> true
+  | Some (only_inc, only_scan) ->
+      Runtime.log t.rt ~topic:"dcda" "%a: candidate audit MISMATCH (+%d incremental, +%d scan)"
+        Proc_id.pp (proc_id t)
+        (Ref_key.Set.cardinal only_inc)
+        (Ref_key.Set.cardinal only_scan);
+      false
+
+let attach ?(candidates_mode = Full_scan) rt proc ~policy =
   let t =
     {
       rt;
       proc;
       policy;
+      mode = candidates_mode;
+      candidates = Candidates.attach ~stats:rt.Runtime.stats proc;
       summary = None;
       next_seq = 0;
       started = 0;

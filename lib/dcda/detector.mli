@@ -23,13 +23,42 @@ open Adgc_algebra
 
 type t
 
-val attach : Adgc_rt.Runtime.t -> Adgc_rt.Process.t -> policy:Policy.t -> t
-(** Create the instance and install its message hooks on the
-    process. *)
+type candidates_mode =
+  | Full_scan
+      (** seed scans from every scion of the published summary — the
+          oracle path *)
+  | Incremental
+      (** seed scans from the incrementally maintained candidate set
+          ({!Candidates}), frozen at each summary publish; pinned
+          byte-identical to [Full_scan] by the audit duty and the
+          parity tests *)
+
+val attach :
+  ?candidates_mode:candidates_mode ->
+  Adgc_rt.Runtime.t ->
+  Adgc_rt.Process.t ->
+  policy:Policy.t ->
+  t
+(** Create the instance and install its message hooks on the process.
+    A {!Candidates} maintainer is attached in every mode (so stats —
+    and the metrics document built from them — do not depend on the
+    mode); [candidates_mode] (default [Full_scan]) only selects the
+    scan source. *)
 
 val proc_id : t -> Proc_id.t
 
 val policy : t -> Policy.t
+
+val mode : t -> candidates_mode
+
+val candidates : t -> Candidates.t
+(** The attached incremental candidate maintainer. *)
+
+val audit_candidates : t -> bool
+(** Run the full-scan audit ({!Candidates.audit}); [false] — plus a
+    log line and the ["dcda.candidates.audit_mismatch"] counter — on
+    divergence.  Scheduled as the low-frequency
+    [Kernel.Maintain_candidates] duty. *)
 
 val set_summary : t -> Adgc_snapshot.Summary.t -> unit
 (** Publish a freshly taken summary (see {!Adgc_snapshot.Snapshot_store}). *)

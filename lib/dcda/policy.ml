@@ -24,6 +24,7 @@ type t = {
   scan_order : scan_order;
   backoff : bool;
   cdm_budget : int;
+  candidate_audit_period : int;
 }
 
 let default =
@@ -39,6 +40,7 @@ let default =
     scan_order = Rotating;
     backoff = true;
     cdm_budget = 256;
+    candidate_audit_period = 12_500;
   }
 
 let aggressive =
@@ -54,4 +56,5 @@ let aggressive =
     scan_order = Rotating;
     backoff = true;
     cdm_budget = 256;
+    candidate_audit_period = 2_000;
   }

@@ -58,6 +58,12 @@ type t = {
           detection to at most this many messages even on densely
           connected garbage, where unbounded fan-out is combinatorial
           (experiment E18) *)
+  candidate_audit_period : int;
+      (** how often each process runs the full-scan audit of its
+          incremental candidate labels ({!Detector.audit_candidates})
+          — deliberately several snapshot periods, so the audit is a
+          low-frequency safety net rather than a recurring O(heap)
+          cost *)
 }
 
 val default : t

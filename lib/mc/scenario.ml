@@ -9,6 +9,7 @@ type t = {
   name : string;
   descr : string;
   n_procs : int;
+  candidates : Adgc.Config.candidates_kind option;
   caps : caps;
   setup : Adgc.Sim.t -> instance;
 }

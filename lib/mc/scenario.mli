@@ -31,6 +31,11 @@ type t = {
   name : string;
   descr : string;
   n_procs : int;
+  candidates : Adgc.Config.candidates_kind option;
+      (** pin the DCDA candidate source for this scenario; [None]
+          inherits the ambient config (the [ADGC_CANDIDATES]
+          environment variable), so the CI candidate matrix also
+          sweeps the unpinned scenarios *)
   caps : caps;  (** default scope; explorations may override *)
   setup : Adgc.Sim.t -> instance;
       (** build the initial topology and return the mutation script

@@ -34,6 +34,11 @@ let create ?mutant ?caps (scenario : Scenario.t) =
   Adgc_util.Mc_mutate.set mutant;
   let caps = match caps with Some c -> c | None -> scenario.Scenario.caps in
   let config = Config.mc ~n_procs:scenario.Scenario.n_procs () in
+  let config =
+    match scenario.Scenario.candidates with
+    | None -> config (* inherit ADGC_CANDIDATES via Config.default *)
+    | Some candidates -> { config with Config.candidates }
+  in
   let sim = Sim.create ~config () in
   let inst = scenario.Scenario.setup sim in
   let n = scenario.Scenario.n_procs in
@@ -196,6 +201,27 @@ let perform t (a : Action.t) =
             t.drops_used <- t.drops_used + 1;
             Ok ())
 
+(* The candidate maintainer runs in every mode, so its audit is an
+   invariant of every explored state: the incrementally maintained
+   candidate set must equal one recomputed from an independent full
+   root trace.  The audit only refreshes internal labels (never the
+   frozen [published] list), so checking it after each action does
+   not perturb the explored behaviour or the fingerprint. *)
+let audit_violations t =
+  List.concat
+    (List.init t.n_procs (fun i ->
+         match Adgc_dcda.Candidates.audit (Adgc_dcda.Detector.candidates (Sim.detector t.sim i)) with
+         | None -> []
+         | Some (only_inc, only_scan) ->
+             [
+               Printf.sprintf
+                 "candidate_audit: P%d incremental labels diverge from full scan (%d \
+                  incremental-only, %d scan-only)"
+                 i
+                 (Ref_key.Set.cardinal only_inc)
+                 (Ref_key.Set.cardinal only_scan);
+             ]))
+
 let apply t a =
   match perform t a with
   | Error _ as e -> e
@@ -210,7 +236,7 @@ let apply t a =
               (Adgc_check.Invariant.describe v))
           (Adgc_check.Invariant.check ~live (Sim.cluster t.sim))
       in
-      Ok (swept @ inst)
+      Ok (swept @ inst @ audit_violations t)
 
 (* --------------------------------------------------------------- *)
 (* Canonical state digest.                                          *)

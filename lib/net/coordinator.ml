@@ -121,6 +121,7 @@ let spawn_exec opts ~dir argv rank =
         "--procs"; string_of_int (Scenario.n_procs sc);
         "--seed"; string_of_int sc.Scenario.seed;
         "--detector"; Scenario.detector_to_string sc.Scenario.detector;
+        "--candidates"; Adgc.Config.candidates_to_string sc.Scenario.candidates;
         "--objects"; string_of_int sc.Scenario.objects;
         "--edges"; string_of_int sc.Scenario.edges;
         "--tick-us"; string_of_int cfg.Node.tick_us;

@@ -96,7 +96,10 @@ let install_duties sim rank =
         Kernel.run_duty ctx (Kernel.Send_sets i);
         Reflist.probe_idle_scions rt p ~threshold:(3 * rcfg.Runtime.new_set_period);
         Reflist.reap_dead_holders rt p
-      end)
+      end);
+  let audit = policy.Adgc_dcda.Policy.candidate_audit_period in
+  every ~phase:(1 + (i * audit / n)) ~period:audit (fun () ->
+      if p.Process.alive then Kernel.run_duty ctx (Kernel.Maintain_candidates i))
 
 (* ------------------------------------------------------------------ *)
 (* Peer links. *)

@@ -63,13 +63,14 @@ type t = {
   procs : int;
   seed : int;
   detector : Config.detector_kind;
+  candidates : Config.candidates_kind;
   objects : int;
   edges : int;
 }
 
-let make ?(topology = Ring) ?(procs = 4) ?(seed = 42) ?(detector = Config.Dcda) ?(objects = 100)
-    ?(edges = 200) () =
-  { topology; procs; seed; detector; objects; edges }
+let make ?(topology = Ring) ?(procs = 4) ?(seed = 42) ?(detector = Config.Dcda)
+    ?(candidates = Config.Scan_candidates) ?(objects = 100) ?(edges = 200) () =
+  { topology; procs; seed; detector; candidates; objects; edges }
 
 let n_procs t = Int.max t.procs (min_procs t.topology)
 
@@ -104,7 +105,9 @@ let build_topology t cluster =
 
 let build ?(telemetry = false) ?(engine = Config.Seq) t =
   let config = Config.quick ~seed:t.seed ~n_procs:(n_procs t) () in
-  let config = { config with Config.detector = t.detector; engine; telemetry } in
+  let config =
+    { config with Config.detector = t.detector; candidates = t.candidates; engine; telemetry }
+  in
   let sim = Sim.create ~config () in
   let built = build_topology t (Sim.cluster sim) in
   (sim, built)

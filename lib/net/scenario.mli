@@ -34,6 +34,10 @@ type t = {
   procs : int;  (** raised to {!min_procs} at build time *)
   seed : int;
   detector : Adgc.Config.detector_kind;
+  candidates : Adgc.Config.candidates_kind;
+      (** DCDA candidate source; shipped to every node (the
+          coordinator passes [--candidates]) so all ranks seed their
+          scans the same way *)
   objects : int;  (** [Random] only *)
   edges : int;  (** [Random] only *)
 }
@@ -43,12 +47,13 @@ val make :
   ?procs:int ->
   ?seed:int ->
   ?detector:Adgc.Config.detector_kind ->
+  ?candidates:Adgc.Config.candidates_kind ->
   ?objects:int ->
   ?edges:int ->
   unit ->
   t
-(** Defaults: [Ring], 4 processes, seed 42, DCDA, 100 objects /
-    200 edges. *)
+(** Defaults: [Ring], 4 processes, seed 42, DCDA, full-scan
+    candidates, 100 objects / 200 edges. *)
 
 val n_procs : t -> int
 (** [max procs (min_procs topology)] — what [build] actually creates. *)

@@ -21,6 +21,18 @@ type tracer = {
   mutable synced_gen : int; (* heap generation at last sync; -1 = never *)
 }
 
+(* Edge-level mutation events, fired synchronously after the heap
+   state is updated.  The incremental candidate maintainer
+   (Adgc_dcda.Candidates) subscribes to keep its root-region labels in
+   step with the graph; the events carry exactly the reachability
+   delta (edges, roots, sweeps) and nothing about payloads. *)
+type event =
+  | Edge_added of Oid.t * Oid.t (* holder, target *)
+  | Edge_removed of Oid.t * Oid.t
+  | Root_added of Oid.t
+  | Root_removed of Oid.t
+  | Removed of Oid.t
+
 type t = {
   owner : Proc_id.t;
   objs : obj Oid.Tbl.t;
@@ -30,6 +42,8 @@ type t = {
   mutable roots_dirty : bool;
   mutable generation : int; (* bumped whenever the object population changes *)
   mutable mutations : int; (* bumped on every reachability-relevant change *)
+  mutable reclaim_mutations : int; (* bumped only by classes after which garbage can shrink *)
+  mutable hooks : (event -> unit) list;
   tracer : tracer;
 }
 
@@ -43,6 +57,8 @@ let create ~owner =
     roots_dirty = false;
     generation = 0;
     mutations = 0;
+    reclaim_mutations = 0;
+    hooks = [];
     tracer =
       {
         ids = Interner.create ();
@@ -54,6 +70,10 @@ let create ~owner =
         synced_gen = -1;
       };
   }
+
+let on_event t f = t.hooks <- t.hooks @ [ f ]
+
+let fire t ev = match t.hooks with [] -> () | hooks -> List.iter (fun f -> f ev) hooks
 
 let mark_dirty t oid = Oid.Tbl.replace t.dirty oid ()
 
@@ -73,6 +93,8 @@ let size t = Oid.Tbl.length t.objs
 let generation t = t.generation
 
 let mutations t = t.mutations
+
+let reclaim_mutations t = t.reclaim_mutations
 
 let alloc ?(fields = 2) ?(payload = 16) t =
   let oid = Oid.make ~owner:t.owner ~serial:t.next_serial in
@@ -95,25 +117,34 @@ let mem t oid = Oid.Tbl.mem t.objs oid
 let set_field t obj i v =
   if i < 0 || i >= Array.length obj.fields then
     invalid_arg (Format.asprintf "Heap.set_field: slot %d out of range for %a" i Oid.pp obj.oid);
+  let old = obj.fields.(i) in
   obj.fields.(i) <- v;
   t.mutations <- t.mutations + 1;
-  mark_dirty t obj.oid
+  if v <> None then t.reclaim_mutations <- t.reclaim_mutations + 1;
+  mark_dirty t obj.oid;
+  (match old with Some o -> fire t (Edge_removed (obj.oid, o)) | None -> ());
+  match v with Some o -> fire t (Edge_added (obj.oid, o)) | None -> ()
 
 let add_ref t obj oid =
   t.mutations <- t.mutations + 1;
+  t.reclaim_mutations <- t.reclaim_mutations + 1;
   mark_dirty t obj.oid;
   let n = Array.length obj.fields in
   let rec find_empty i = if i >= n then None else if obj.fields.(i) = None then Some i else find_empty (i + 1) in
-  match find_empty 0 with
-  | Some i ->
-      obj.fields.(i) <- Some oid;
-      i
-  | None ->
-      let bigger = Array.make (Int.max 2 (2 * n)) None in
-      Array.blit obj.fields 0 bigger 0 n;
-      obj.fields <- bigger;
-      obj.fields.(n) <- Some oid;
-      n
+  let slot =
+    match find_empty 0 with
+    | Some i ->
+        obj.fields.(i) <- Some oid;
+        i
+    | None ->
+        let bigger = Array.make (Int.max 2 (2 * n)) None in
+        Array.blit obj.fields 0 bigger 0 n;
+        obj.fields <- bigger;
+        obj.fields.(n) <- Some oid;
+        n
+  in
+  fire t (Edge_added (obj.oid, oid));
+  slot
 
 let remove_ref t obj oid =
   t.mutations <- t.mutations + 1;
@@ -128,13 +159,17 @@ let remove_ref t obj oid =
           true
       | Some _ | None -> go (i + 1)
   in
-  go 0
+  let found = go 0 in
+  if found then fire t (Edge_removed (obj.oid, oid));
+  found
 
 let remove t oid =
   if Oid.Tbl.mem t.objs oid then begin
     Oid.Tbl.remove t.objs oid;
     t.generation <- t.generation + 1;
-    t.mutations <- t.mutations + 1
+    t.mutations <- t.mutations + 1;
+    t.reclaim_mutations <- t.reclaim_mutations + 1;
+    fire t (Removed oid)
   end
 
 let add_root t oid =
@@ -142,12 +177,15 @@ let add_root t oid =
     invalid_arg (Format.asprintf "Heap.add_root: %a is not local to %a" Oid.pp oid Proc_id.pp t.owner);
   Oid.Tbl.replace t.root_set oid ();
   t.mutations <- t.mutations + 1;
-  t.roots_dirty <- true
+  t.reclaim_mutations <- t.reclaim_mutations + 1;
+  t.roots_dirty <- true;
+  fire t (Root_added oid)
 
 let remove_root t oid =
   Oid.Tbl.remove t.root_set oid;
   t.mutations <- t.mutations + 1;
-  t.roots_dirty <- true
+  t.roots_dirty <- true;
+  fire t (Root_removed oid)
 
 let is_root t oid = Oid.Tbl.mem t.root_set oid
 

@@ -47,9 +47,18 @@ val mutations : t -> int
 (** Monotonic counter bumped by {e every} reachability-relevant change
     to this heap: allocation, removal, field writes, reference edits
     and root set changes.  An unchanged counter guarantees this heap
-    contributes the same reachability as last time —
-    {!Adgc.Sim.run_until_clean} folds it into its staleness signature
-    to skip redundant ground-truth traces. *)
+    contributes the same reachability as last time. *)
+
+val reclaim_mutations : t -> int
+(** Monotonic counter bumped only by the mutation classes after which
+    the set of garbage objects can {e shrink}: sweeps ({!remove}) and
+    reattachments ({!add_ref}, {!add_root}, {!set_field} storing a
+    reference).  Allocation, reference clears and root drops can only
+    create garbage, never reclaim it, so they are excluded.
+    {!Adgc.Sim.run_until_clean} folds this counter — not {!mutations}
+    — into its staleness signature: an unchanged signature proves a
+    cached nonzero garbage count cannot have dropped to zero, which is
+    the only transition the clean-poll waits for. *)
 
 (** {1 Allocation and mutation} *)
 
@@ -112,6 +121,31 @@ val take_dirty : t -> Oid.Set.t * bool
 
 val dirty_pending : t -> int
 (** Size of the current log (diagnostics). *)
+
+(** {1 Mutation events}
+
+    Edge-level change notifications, orthogonal to the dirty log
+    (which is a single-consumer set of {e objects} to re-trace; these
+    are per-{e edge} deltas fanned out to any number of observers).
+    The incremental candidate maintainer subscribes to keep its
+    root-region labels in step with the graph. *)
+
+type event =
+  | Edge_added of Oid.t * Oid.t
+      (** [(holder, target)] — a slot of [holder] now references [target]
+          ({!add_ref}, or {!set_field} storing [Some]). *)
+  | Edge_removed of Oid.t * Oid.t
+      (** [(holder, target)] — a slot of [holder] dropped its reference
+          to [target] ({!remove_ref} when found, or {!set_field}
+          overwriting [Some]). *)
+  | Root_added of Oid.t
+  | Root_removed of Oid.t
+  | Removed of Oid.t  (** the object was swept ({!remove}). *)
+
+val on_event : t -> (event -> unit) -> unit
+(** Register an observer, fired synchronously {e after} the heap state
+    is updated, in registration order.  Observers must not mutate the
+    heap. *)
 
 type trace_result = {
   local : Oid.Set.t;  (** local objects reached (including the starts that exist) *)

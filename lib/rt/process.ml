@@ -41,6 +41,7 @@ and t = {
   mutable on_cdm_delete : (Detection_id.t -> Ref_key.t list -> unit) option;
   mutable on_bt : (src:Proc_id.t -> Btmsg.t -> unit) option;
   mutable on_hughes : (src:Proc_id.t -> Hmsg.t -> unit) option;
+  mutable on_revive : (unit -> unit) list;
   mutable pstore : Pstore.t option;
 }
 
@@ -68,6 +69,7 @@ let create ~id ~rng =
     on_cdm_delete = None;
     on_bt = None;
     on_hughes = None;
+    on_revive = [];
     pstore = None;
   }
 

@@ -77,6 +77,11 @@ and t = {
   mutable on_cdm_delete : (Detection_id.t -> Ref_key.t list -> unit) option;
   mutable on_bt : (src:Proc_id.t -> Btmsg.t -> unit) option;
   mutable on_hughes : (src:Proc_id.t -> Hmsg.t -> unit) option;
+  mutable on_revive : (unit -> unit) list;
+      (** fired (registration order) by {!Cluster.restart} when this
+          process comes back from a crash; components caching derived
+          views of the heap (the incremental candidate maintainer)
+          rebuild from the revived state here *)
   mutable pstore : Pstore.t option;
       (** optional paged persistent store; collector duties report
           their object traversals to it (experiment E17) *)

@@ -47,11 +47,11 @@ let live_ring_intact cluster (built : Topology.built) =
       Heap.mem p.Adgc_rt.Process.heap obj.Heap.oid)
     built.Topology.objects
 
-let run_cell ~profile ~detector ~seed () =
+let run_cell ~profile ~detector ?(candidates = Config.Scan_candidates) ~seed () =
   let n_procs = 4 in
   let faults = Faults.plan_of_profile ~start:fault_start ~stop:fault_stop ~n_procs profile in
   let config = Config.quick ~seed ~n_procs () in
-  let config = { config with Config.detector; faults } in
+  let config = { config with Config.detector; candidates; faults } in
   let sim = Sim.create ~config () in
   let cluster = Sim.cluster sim in
   let oracle = Oracle.install ~window:500 cluster in
@@ -83,7 +83,26 @@ let run_cell ~profile ~detector ~seed () =
       Alcotest.failf "liveness after %s/%s/seed%d: %a" (Faults.profile_name profile)
         (detector_name detector) seed Oracle.pp_liveness l);
   Oracle.stop oracle;
-  Oracle.assert_safe oracle
+  Oracle.assert_safe oracle;
+  (* The candidate maintainer runs (and is audited) in every DCDA
+     mode; a mismatch under faults is a label-maintenance bug.  Under
+     crash/restart with incremental candidates the revive hook must
+     have rebuilt the labels from the surviving tables — the
+     stale-label resurrection regression: a restarted process that
+     kept pre-crash labels would resurrect candidates for objects the
+     crash already wiped. *)
+  if detector = Config.Dcda then begin
+    let stats = Sim.stats sim in
+    Alcotest.(check bool) "candidate audits ran" true (Stats.get stats "dcda.candidates.audits" > 0);
+    check Alcotest.int "no candidate audit mismatch" 0
+      (Stats.get stats "dcda.candidates.audit_mismatch");
+    match profile with
+    | Faults.Crash_restart ->
+        Alcotest.(check bool)
+          "restart rebuilt the candidate labels" true
+          (Stats.get stats "dcda.candidates.revive_rebuilds" > 0)
+    | Faults.Loss_burst | Faults.Duplicate | Faults.Reorder | Faults.Partition_heal -> ()
+  end
 
 (* The acceptance scenario spelled out: duplication and reordering at
    once, replayed envelopes visibly suppressed, zero reclamations of
@@ -139,19 +158,29 @@ let test_partition_stats () =
     (Stats.get stats "net.msg.dropped.partition" > 0)
 
 let suite =
+  (* Three detector columns: the DCDA under both candidate sources
+     (the incremental maintainer must stay exact through every fault
+     regime) and the backtracking baseline. *)
+  let columns =
+    [
+      ("dcda", Config.Dcda, Config.Scan_candidates);
+      ("dcda+inc", Config.Dcda, Config.Incremental_candidates);
+      ("backtrack", Config.Backtrack, Config.Scan_candidates);
+    ]
+  in
   let cells =
     List.concat_map
       (fun (pname, profile) ->
         List.concat_map
-          (fun detector ->
+          (fun (cname, detector, candidates) ->
             List.map
               (fun seed ->
                 Alcotest.test_case
-                  (Printf.sprintf "%s via %s, seed %d" pname (detector_name detector) seed)
+                  (Printf.sprintf "%s via %s, seed %d" pname cname seed)
                   `Slow
-                  (run_cell ~profile ~detector ~seed))
+                  (run_cell ~profile ~detector ~candidates ~seed))
               seeds)
-          [ Config.Dcda; Config.Backtrack ])
+          columns)
       Faults.profiles
   in
   ( "faults-matrix",

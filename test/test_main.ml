@@ -11,6 +11,7 @@ let () =
       Test_rt_gc.suite;
       Test_snapshot.suite;
       Test_detector.suite;
+      Test_candidates.suite;
       Test_baseline.suite;
       Test_workload.suite;
       Test_integration.suite;

@@ -26,6 +26,12 @@ let assert_clean ?caps (s : Scenario.t) =
 
 let test_exhaustive_two_proc_cycle () = assert_clean Scenarios.two_proc_cycle
 
+(* The incremental-candidates scope: completeness of the whole scope
+   PLUS the per-step audit invariant (incremental labels == full
+   trace) in every reachable state — the property test wall's
+   exhaustive corner. *)
+let test_exhaustive_incremental () = assert_clean Scenarios.two_proc_cycle_incremental
+
 let test_exhaustive_ic_race () = assert_clean Scenarios.ic_race
 
 let test_exhaustive_external_holder () = assert_clean Scenarios.external_holder
@@ -50,6 +56,24 @@ let test_reclaim_verdict () =
   let sys, viols = run_exn Scenarios.two_proc_cycle Scenarios.reclaim_trail in
   check Alcotest.int "no violations" 0 (List.length viols);
   check Alcotest.bool "cycle reclaimed" true (System.goal_reached sys)
+
+let test_incremental_reclaim_verdict () =
+  let sys, viols = run_exn Scenarios.two_proc_cycle_incremental Scenarios.reclaim_trail in
+  check Alcotest.int "no violations" 0 (List.length viols);
+  check Alcotest.bool "cycle reclaimed under incremental candidates" true
+    (System.goal_reached sys)
+
+(* Byte-identity at the mc level: the same trail drives the scan-mode
+   and incremental-mode systems to the same canonical state digest
+   (heaps, tables, summaries, in-flight messages). *)
+let test_incremental_fingerprint_parity () =
+  let fp scenario =
+    let sys, _ = run_exn scenario Scenarios.reclaim_trail in
+    System.fingerprint sys
+  in
+  check Alcotest.string "scan and incremental runs converge to the same state"
+    (fp Scenarios.two_proc_cycle)
+    (fp Scenarios.two_proc_cycle_incremental)
 
 let test_lost_cdm_verdict () =
   let sys, viols =
@@ -101,7 +125,7 @@ let test_fingerprint_sensitive () =
 (* The mutation gauntlet. *)
 
 let test_gauntlet () =
-  check Alcotest.int "eight mutants" 8 (List.length Mutants.all);
+  check Alcotest.int "nine mutants" 9 (List.length Mutants.all);
   List.iter
     (fun (e : Mutants.entry) ->
       let o = Mutants.run_entry e in
@@ -170,12 +194,18 @@ let suite =
   ( "mc",
     [
       Alcotest.test_case "exhaustive: two_proc_cycle clean" `Slow test_exhaustive_two_proc_cycle;
+      Alcotest.test_case "exhaustive: two_proc_cycle_incremental clean" `Slow
+        test_exhaustive_incremental;
       Alcotest.test_case "exhaustive: ic_race clean" `Slow test_exhaustive_ic_race;
       Alcotest.test_case "exhaustive: external_holder clean" `Slow
         test_exhaustive_external_holder;
       Alcotest.test_case "exhaustive: export_handshake clean" `Slow
         test_exhaustive_export_handshake;
       Alcotest.test_case "verdict: cycle reclaimed" `Quick test_reclaim_verdict;
+      Alcotest.test_case "verdict: incremental candidates reclaim" `Quick
+        test_incremental_reclaim_verdict;
+      Alcotest.test_case "fingerprint parity: scan vs incremental" `Quick
+        test_incremental_fingerprint_parity;
       Alcotest.test_case "verdict: lost CDM retried" `Quick test_lost_cdm_verdict;
       Alcotest.test_case "verdict: stale snapshot superseded" `Quick
         test_stale_witness_unmutated_verdict;

@@ -76,8 +76,8 @@ let run_in_memory scenario =
   Sim.teardown sim;
   (clean, states)
 
-let conformance_case topology seed detector () =
-  let scenario = Scenario.make ~topology ~procs:4 ~seed ~detector () in
+let conformance_case ?(candidates = Config.Scan_candidates) topology seed detector () =
+  let scenario = Scenario.make ~topology ~procs:4 ~seed ~detector ~candidates () in
   let expected = Scenario.expected scenario in
   (* In-memory driver. *)
   let mem_clean, mem_states = run_in_memory scenario in
@@ -121,4 +121,14 @@ let suite =
            (the ring is garbage wall-to-wall). *)
         Alcotest.test_case "pairs seed=11 dcda" `Slow
           (conformance_case Scenario.Pairs 11 Config.Dcda);
+        (* Incremental candidates over sockets: the coordinator ships
+           --candidates incremental to every node; the socket run must
+           reclaim exactly what the in-memory incremental run does
+           (which itself must match the scan-derived expectation). *)
+        Alcotest.test_case "ring seed=11 dcda incremental" `Slow
+          (conformance_case ~candidates:Config.Incremental_candidates Scenario.Ring 11
+             Config.Dcda);
+        Alcotest.test_case "pairs seed=11 dcda incremental" `Slow
+          (conformance_case ~candidates:Config.Incremental_candidates Scenario.Pairs 11
+             Config.Dcda);
       ] )

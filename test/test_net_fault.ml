@@ -14,11 +14,13 @@ let check = Alcotest.check
 
 let violations = Alcotest.list (Alcotest.testable Adgc_check.Invariant.pp ( = ))
 
-let test_kill_node_mid_run () =
+let kill_scenario ~candidates =
   (* Pairs: each garbage cycle spans exactly one pair of ranks, so
      killing rank 2 floats only its own pair's cycle and the other
      pairs must still be reclaimed by the survivors. *)
-  let scenario = Scenario.make ~topology:Scenario.Pairs ~procs:6 ~seed:7 () in
+  Scenario.make ~topology:Scenario.Pairs ~procs:6 ~seed:7 ~candidates ()
+
+let run_kill_node scenario () =
   let opts =
     Coordinator.options ~tick_us:400 ~deadline_s:30.
       ~spawn:(Test_net_conformance.spawn ())
@@ -61,6 +63,12 @@ let test_drop_link_reconnects () =
 let suite =
   ( "net_fault",
     [
-      Alcotest.test_case "kill -9 a node mid-run" `Slow test_kill_node_mid_run;
+      Alcotest.test_case "kill -9 a node mid-run" `Slow
+        (run_kill_node (kill_scenario ~candidates:Adgc.Config.Scan_candidates));
+      (* Same kill under incremental candidates: survivors keep exact
+         labels (the per-node audit duty would flag drift) and reclaim
+         the same still-owed set. *)
+      Alcotest.test_case "kill -9 a node, incremental candidates" `Slow
+        (run_kill_node (kill_scenario ~candidates:Adgc.Config.Incremental_candidates));
       Alcotest.test_case "dropped link reconnects and replays" `Slow test_drop_link_reconnects;
     ] )
