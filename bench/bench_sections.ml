@@ -11,6 +11,7 @@ let perf : (string * (Adgc_perf.Recorder.t -> unit)) list =
     ("engine", Bench_engine.run);
     ("net", Bench_net.run);
     ("detection", Bench_detection.run);
+    ("scale", Bench_scale.run);
   ]
 
 let paper : (string * (unit -> unit)) list = Bench_paper.sections

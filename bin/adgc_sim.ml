@@ -84,6 +84,15 @@ let candidates_conv =
   let print ppf c = Format.pp_print_string ppf (Config.candidates_to_string c) in
   Cmdliner.Arg.conv (parse, print)
 
+let groups_conv =
+  let parse s =
+    match Config.groups_of_string s with
+    | Some g -> Ok g
+    | None -> Error (`Msg (Printf.sprintf "bad group size %S (off, on or an integer)" s))
+  in
+  let print ppf g = Format.pp_print_string ppf (Config.groups_to_string g) in
+  Cmdliner.Arg.conv (parse, print)
+
 let faults_conv =
   let parse s =
     match Faults.profile_of_string s with
@@ -137,10 +146,11 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let run_cmd topology procs seed loss detector candidates engine time churn_steps objects edges
-    trace_topics crash_list faults_profile metrics_file spans_file inspect quiet =
+let run_cmd topology procs seed loss detector candidates groups engine time churn_steps objects
+    edges trace_topics crash_list faults_profile metrics_file spans_file inspect quiet =
   let n_procs = Int.max procs (min_procs topology) in
   let config = Config.quick ~seed ~n_procs () in
+  let config = Config.with_groups config groups in
   config.Config.net.Network.drop_prob <- loss;
   (* Faults run over the middle of the run: armed at 1/5 of the time
      budget, quiescent at 3/5, leaving the last 2/5 for recovery. *)
@@ -212,6 +222,7 @@ let run_cmd topology procs seed loss detector candidates engine time churn_steps
               | Config.Hughes_gc -> "hughes"
               | Config.No_detector -> "none") );
           ("candidates", Adgc_util.Json.Str (Config.candidates_to_string candidates));
+          ("groups", Adgc_util.Json.Str (Config.groups_to_string groups));
         ]
       in
       write_file path
@@ -467,17 +478,22 @@ let trace_cmd topology seed format out =
 module Net_scenario = Adgc_net.Scenario
 module Coordinator = Adgc_net.Coordinator
 
-let serve_cmd dir rank topology procs seed detector candidates objects edges tick_us max_ticks =
-  let scenario = Net_scenario.make ~topology ~procs ~seed ~detector ~candidates ~objects ~edges () in
+let serve_cmd dir rank topology procs seed detector candidates groups objects edges tick_us
+    max_ticks =
+  let scenario =
+    Net_scenario.make ~topology ~procs ~seed ~detector ~candidates ~groups ~objects ~edges ()
+  in
   match Adgc_net.Node.main { Adgc_net.Node.rank; scenario; dir; tick_us; max_ticks } with
   | () -> 0
   | exception (Failure msg | Invalid_argument msg) ->
       Printf.eprintf "serve: %s\n" msg;
       1
 
-let drive_cmd topology procs seed detector candidates objects edges tick_us deadline dir keep_dir
-    kill drop metrics_file spans_file quiet =
-  let scenario = Net_scenario.make ~topology ~procs ~seed ~detector ~candidates ~objects ~edges () in
+let drive_cmd topology procs seed detector candidates groups objects edges tick_us deadline dir
+    keep_dir kill drop metrics_file spans_file quiet =
+  let scenario =
+    Net_scenario.make ~topology ~procs ~seed ~detector ~candidates ~groups ~objects ~edges ()
+  in
   let faults =
     (match kill with
     | Some (rank, after_s) -> [ Coordinator.Kill { rank; after_s } ]
@@ -506,6 +522,7 @@ let drive_cmd topology procs seed detector candidates objects edges tick_us dead
               ("seed", Adgc_util.Json.Int seed);
               ("detector", Adgc_util.Json.Str (Net_scenario.detector_to_string detector));
               ("candidates", Adgc_util.Json.Str (Config.candidates_to_string candidates));
+              ("groups", Adgc_util.Json.Str (Config.groups_to_string groups));
               ("tick_us", Adgc_util.Json.Int tick_us);
               ("wall_s", Adgc_util.Json.Float result.Coordinator.wall_s);
               ("ok", Adgc_util.Json.Bool (Coordinator.ok result));
@@ -643,7 +660,19 @@ open Cmdliner
 let topology_arg =
   Arg.(value & opt topology_conv Ring & info [ "topology"; "t" ] ~doc:"Topology: fig3, fig4, fig5, ring, hybrid, random, star, lattice, web or chain.")
 
-let procs_arg = Arg.(value & opt int 4 & info [ "procs"; "p" ] ~doc:"Number of processes.")
+(* Scale knobs default from the environment so CI matrix legs and the
+   scale smoke job can sweep process/object counts without rewriting
+   every command line. *)
+let int_env var default =
+  match Sys.getenv_opt var with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let procs_arg =
+  Arg.(
+    value
+    & opt int (int_env "ADGC_PROCS" 4)
+    & info [ "procs"; "p" ] ~doc:"Number of processes (default from ADGC_PROCS, then 4).")
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
 
@@ -679,7 +708,23 @@ let time_arg = Arg.(value & opt int 100_000 & info [ "time" ] ~doc:"Simulated ti
 
 let churn_arg = Arg.(value & opt int 0 & info [ "churn" ] ~doc:"Random mutator actions to schedule.")
 
-let objects_arg = Arg.(value & opt int 100 & info [ "objects" ] ~doc:"Objects (random topology).")
+let objects_arg =
+  Arg.(
+    value
+    & opt int (int_env "ADGC_OBJECTS" 100)
+    & info [ "objects" ]
+        ~doc:"Objects (random topology; default from ADGC_OBJECTS, then 100).")
+
+let groups_arg =
+  Arg.(
+    value
+    & opt groups_conv (Config.groups_of_env ())
+    & info [ "groups" ]
+        ~doc:
+          "Hierarchical process-group size: off (flat routing), on (groups of 8) or an \
+           integer size. DGC control traffic between groups is aggregated through per-group \
+           proxies. Defaults to the ADGC_GROUPS environment variable, then off."
+        ~docv:"SIZE")
 
 let edges_arg = Arg.(value & opt int 200 & info [ "edges" ] ~doc:"Edges (random topology).")
 
@@ -739,8 +784,8 @@ let faults_arg =
 let run_term =
   Term.(
     const run_cmd $ topology_arg $ procs_arg $ seed_arg $ loss_arg $ detector_arg
-    $ candidates_arg $ engine_arg $ time_arg $ churn_arg $ objects_arg $ edges_arg $ trace_arg
-    $ crash_arg $ faults_arg $ metrics_arg $ spans_arg $ inspect_arg $ quiet_arg)
+    $ candidates_arg $ groups_arg $ engine_arg $ time_arg $ churn_arg $ objects_arg $ edges_arg
+    $ trace_arg $ crash_arg $ faults_arg $ metrics_arg $ spans_arg $ inspect_arg $ quiet_arg)
 
 let run_cmd_info = Cmd.info "run" ~doc:"Run a scenario end to end and report."
 
@@ -868,7 +913,8 @@ let max_ticks_arg =
 let serve_term =
   Term.(
     const serve_cmd $ serve_dir_arg $ serve_rank_arg $ net_topology_arg $ procs_arg $ seed_arg
-    $ net_detector_arg $ candidates_arg $ objects_arg $ edges_arg $ tick_us_arg $ max_ticks_arg)
+    $ net_detector_arg $ candidates_arg $ groups_arg $ objects_arg $ edges_arg $ tick_us_arg
+    $ max_ticks_arg)
 
 let serve_cmd_info =
   Cmd.info "serve"
@@ -913,8 +959,8 @@ let drop_arg =
 let drive_term =
   Term.(
     const drive_cmd $ net_topology_arg $ procs_arg $ seed_arg $ net_detector_arg
-    $ candidates_arg $ objects_arg $ edges_arg $ tick_us_arg $ deadline_arg $ drive_dir_arg
-    $ keep_dir_arg $ kill_arg $ drop_arg $ metrics_arg $ spans_arg $ quiet_arg)
+    $ candidates_arg $ groups_arg $ objects_arg $ edges_arg $ tick_us_arg $ deadline_arg
+    $ drive_dir_arg $ keep_dir_arg $ kill_arg $ drop_arg $ metrics_arg $ spans_arg $ quiet_arg)
 
 let drive_cmd_info =
   Cmd.info "drive"

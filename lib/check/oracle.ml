@@ -74,13 +74,10 @@ let install ?(window = 500) cluster =
         (match previous with Some f -> f proc doomed | None -> ());
         (* Every heap is still intact here, so ground truth is exact
            for the objects about to go. *)
-        if not t.stopped then begin
-          let live = Cluster.globally_live cluster in
+        if not t.stopped then
           List.iter
-            (fun oid ->
-              if Oid.Set.mem oid live then record t (Invariant.Live_reclaimed { proc; oid }))
-            doomed
-        end);
+            (fun oid -> record t (Invariant.Live_reclaimed { proc; oid }))
+            (Cluster.live_among cluster doomed));
   t.handle <-
     Some (Scheduler.every (Cluster.sched cluster) ~period:window (fun () -> sweep_instantaneous t));
   Cluster.at_teardown cluster (fun () -> stop t);

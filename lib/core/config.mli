@@ -49,6 +49,21 @@ val candidates_of_env : unit -> candidates_kind
     this, so the CI candidates matrix can steer whole test binaries
     without touching code — the mirror of {!engine_of_env}. *)
 
+val groups_of_string : string -> int option
+(** Group size for the hierarchical overlay: ["off"]/["flat"]/["none"]
+    (and the empty string) mean 0 = flat clique, ["on"] means 8, a
+    non-negative integer means that size (1 normalises to 0 — a
+    clique of singleton groups is the flat clique). *)
+
+val groups_to_string : int -> string
+
+val groups_of_env : unit -> int
+(** Group size selected by the [ADGC_GROUPS] environment variable (0 =
+    flat when unset or unrecognised).  {!default} folds this into
+    [runtime.group_size] (with [group_relay] on for sizes [> 1]), so
+    the CI groups matrix steers whole test binaries like the engine
+    and candidates matrices do. *)
+
 type t = {
   seed : int;
   n_procs : int;
@@ -91,7 +106,14 @@ val mc : ?seed:int -> ?n_procs:int -> unit -> t
 (** Time-frozen configuration for the bounded model checker
     ({!Adgc_mc}): manual (explored) network delivery, no idle
     thresholds, cooldowns, backoff or early-IC pruning, sorted scan
-    order, broadcast deletion, naive summarizer.  With this config the
-    whole system state is a pure function of the choice sequence —
-    the scheduler clock never advances and the RNG is never drawn
-    from. *)
+    order, broadcast deletion, naive summarizer, synchronous group
+    relay flushes ([group_window = 0]).  With this config the whole
+    system state is a pure function of the choice sequence — the
+    scheduler clock never advances and the RNG is never drawn from. *)
+
+val groups : t -> int
+(** The configured group size ([runtime.group_size]; 0 = flat). *)
+
+val with_groups : t -> int -> t
+(** Set the group overlay size (and enable relaying for sizes [> 1]);
+    [<= 1] returns to the flat clique. *)

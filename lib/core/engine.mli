@@ -29,8 +29,12 @@ module Seq : S
     [prepare i], exactly the pre-refactor behaviour. *)
 
 module Par : S
-(** Domain-parallel engine: all prepares run concurrently on the
-    shared {!Adgc_util.Pool}, then commits are applied sequentially in
-    ascending process order at the barrier. *)
+(** Domain-parallel engine: prepares run concurrently on the shared
+    {!Adgc_util.Pool} in per-shard chunks, and commits are applied on
+    the calling domain in ascending process order {e as each chunk
+    finishes} ({!Adgc_util.Pool.run_chunked}) — the prepare/commit
+    pipeline overlaps instead of meeting at a full barrier, so the
+    round's synchronization cost no longer scales with the clique
+    size.  Commit order (and hence observable output) is unchanged. *)
 
 val of_kind : Config.engine_kind -> (module S)

@@ -17,6 +17,7 @@ type t = {
   detectors : detectors;
   mutable hughes : Adgc_baseline.Hughes.t option;
   mutable handles : Scheduler.recurring list;
+  mutable lanes : Scheduler.lane list;
 }
 
 let create ?config () =
@@ -59,7 +60,7 @@ let create ?config () =
         Bt_instances arr
     | Config.Hughes_gc | Config.No_detector -> Nothing
   in
-  { config; engine; cluster; store; detectors; hughes = None; handles = [] }
+  { config; engine; cluster; store; detectors; hughes = None; handles = []; lanes = [] }
 
 let config t = t.config
 
@@ -143,7 +144,7 @@ let scan_all t =
       go 0 0
 
 let start t =
-  if t.handles = [] then begin
+  if t.lanes = [] && t.handles = [] then begin
     Cluster.start_gc t.cluster;
     (match (t.config.Config.detector, t.hughes) with
     | Config.Hughes_gc, None -> t.hughes <- Some (Adgc_baseline.Hughes.install t.cluster)
@@ -151,33 +152,32 @@ let start t =
     let sched = Cluster.sched t.cluster in
     let n = Cluster.n_procs t.cluster in
     let policy = t.config.Config.policy in
-    let handles = ref [] in
     let ctx = kernel_ctx t in
-    for i = 0 to n - 1 do
-      let p = Cluster.proc t.cluster i in
-      let snap_period = policy.Adgc_dcda.Policy.snapshot_period in
-      let scan_period = policy.Adgc_dcda.Policy.scan_period in
-      let h1 =
-        Scheduler.every sched ~phase:(1 + (i * snap_period / n)) ~period:snap_period (fun () ->
-            if p.Process.alive then Kernel.run_duty ctx (Kernel.Snapshot i))
-      in
-      let h2 =
-        Scheduler.every sched ~phase:(1 + (i * scan_period / n)) ~period:scan_period (fun () ->
-            if p.Process.alive then Kernel.run_duty ctx (Kernel.Scan i))
-      in
-      let audit_period = policy.Adgc_dcda.Policy.candidate_audit_period in
-      let h3 =
-        Scheduler.every sched ~phase:(1 + (i * audit_period / n)) ~period:audit_period (fun () ->
-            if p.Process.alive then Kernel.run_duty ctx (Kernel.Maintain_candidates i))
-      in
-      handles := h1 :: h2 :: h3 :: !handles
-    done;
-    t.handles <- !handles
+    (* One scheduler lane per duty kind: member fire instants are the
+       same [1 + i*period/n] staggering as before, but the global
+       event queue carries three entries instead of [3n] — at 1k+
+       processes that is most of the scheduler's heap pressure. *)
+    let duty period mk =
+      Scheduler.lane sched ~n
+        ~phase_of:(fun i -> 1 + (i * period / n))
+        ~period
+        (fun i ->
+          if (Cluster.proc t.cluster i).Process.alive then Kernel.run_duty ctx (mk i))
+    in
+    t.lanes <-
+      [
+        duty policy.Adgc_dcda.Policy.snapshot_period (fun i -> Kernel.Snapshot i);
+        duty policy.Adgc_dcda.Policy.scan_period (fun i -> Kernel.Scan i);
+        duty policy.Adgc_dcda.Policy.candidate_audit_period (fun i ->
+            Kernel.Maintain_candidates i);
+      ]
   end
 
 let stop t =
   List.iter Scheduler.cancel t.handles;
   t.handles <- [];
+  List.iter Scheduler.cancel_lane t.lanes;
+  t.lanes <- [];
   (match t.hughes with
   | Some h ->
       Adgc_baseline.Hughes.stop h;
@@ -212,7 +212,7 @@ let reports t =
              Int.compare a.Adgc_dcda.Report.concluded_time b.Adgc_dcda.Report.concluded_time)
   | Bt_instances _ | Nothing -> []
 
-let garbage_count t = Oid.Set.cardinal (Cluster.garbage t.cluster)
+let garbage_count t = Cluster.garbage_count t.cluster
 
 let live_oids t = Cluster.globally_live t.cluster
 
@@ -231,7 +231,7 @@ let live_oids t = Cluster.globally_live t.cluster
    (each in-flight message bumps "sent" on entering the window and
    exactly one of the other two on leaving it, so any change to the
    in-flight set changes the sum). *)
-let ref_carrying_kinds = [ "rmi_request"; "rmi_reply"; "export_notice"; "export_ack"; "batch" ]
+let ref_carrying_kinds = Cluster.ref_carrying_kinds
 
 let reach_signature t =
   let rt = rt t in

@@ -10,6 +10,7 @@ type t = {
   descr : string;
   n_procs : int;
   candidates : Adgc.Config.candidates_kind option;
+  groups : int option;
   caps : caps;
   setup : Adgc.Sim.t -> instance;
 }

@@ -36,6 +36,11 @@ type t = {
           inherits the ambient config (the [ADGC_CANDIDATES]
           environment variable), so the CI candidate matrix also
           sweeps the unpinned scenarios *)
+  groups : int option;
+      (** pin the hierarchical group size; [None] inherits the ambient
+          config ([ADGC_GROUPS]), so the CI groups dimension also
+          sweeps the unpinned scenarios.  The mc config always flushes
+          relays synchronously ([group_window = 0]). *)
   caps : caps;  (** default scope; explorations may override *)
   setup : Adgc.Sim.t -> instance;
       (** build the initial topology and return the mutation script

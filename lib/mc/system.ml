@@ -39,6 +39,11 @@ let create ?mutant ?caps (scenario : Scenario.t) =
     | None -> config (* inherit ADGC_CANDIDATES via Config.default *)
     | Some candidates -> { config with Config.candidates }
   in
+  let config =
+    match scenario.Scenario.groups with
+    | None -> config (* inherit ADGC_GROUPS via Config.default *)
+    | Some g -> Config.with_groups config g
+  in
   let sim = Sim.create ~config () in
   let inst = scenario.Scenario.setup sim in
   let n = scenario.Scenario.n_procs in

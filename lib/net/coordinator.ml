@@ -122,6 +122,7 @@ let spawn_exec opts ~dir argv rank =
         "--seed"; string_of_int sc.Scenario.seed;
         "--detector"; Scenario.detector_to_string sc.Scenario.detector;
         "--candidates"; Adgc.Config.candidates_to_string sc.Scenario.candidates;
+        "--groups"; string_of_int sc.Scenario.groups;
         "--objects"; string_of_int sc.Scenario.objects;
         "--edges"; string_of_int sc.Scenario.edges;
         "--tick-us"; string_of_int cfg.Node.tick_us;

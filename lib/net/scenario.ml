@@ -64,13 +64,15 @@ type t = {
   seed : int;
   detector : Config.detector_kind;
   candidates : Config.candidates_kind;
+  groups : int;
   objects : int;
   edges : int;
 }
 
 let make ?(topology = Ring) ?(procs = 4) ?(seed = 42) ?(detector = Config.Dcda)
-    ?(candidates = Config.Scan_candidates) ?(objects = 100) ?(edges = 200) () =
-  { topology; procs; seed; detector; candidates; objects; edges }
+    ?(candidates = Config.Scan_candidates) ?groups ?(objects = 100) ?(edges = 200) () =
+  let groups = match groups with Some g -> g | None -> Config.groups_of_env () in
+  { topology; procs; seed; detector; candidates; groups; objects; edges }
 
 let n_procs t = Int.max t.procs (min_procs t.topology)
 
@@ -108,6 +110,7 @@ let build ?(telemetry = false) ?(engine = Config.Seq) t =
   let config =
     { config with Config.detector = t.detector; candidates = t.candidates; engine; telemetry }
   in
+  let config = Config.with_groups config t.groups in
   let sim = Sim.create ~config () in
   let built = build_topology t (Sim.cluster sim) in
   (sim, built)

@@ -38,6 +38,10 @@ type t = {
       (** DCDA candidate source; shipped to every node (the
           coordinator passes [--candidates]) so all ranks seed their
           scans the same way *)
+  groups : int;
+      (** hierarchical group size ([0] = flat); part of the spec so
+          the coordinator ships it to every node ([--groups]) and all
+          replicas route identically *)
   objects : int;  (** [Random] only *)
   edges : int;  (** [Random] only *)
 }
@@ -48,12 +52,14 @@ val make :
   ?seed:int ->
   ?detector:Adgc.Config.detector_kind ->
   ?candidates:Adgc.Config.candidates_kind ->
+  ?groups:int ->
   ?objects:int ->
   ?edges:int ->
   unit ->
   t
 (** Defaults: [Ring], 4 processes, seed 42, DCDA, full-scan
-    candidates, 100 objects / 200 edges. *)
+    candidates, groups from [ADGC_GROUPS] (flat when unset), 100
+    objects / 200 edges. *)
 
 val n_procs : t -> int
 (** [max procs (min_procs topology)] — what [build] actually creates. *)

@@ -9,8 +9,16 @@ module Lineage = Adgc_obs.Lineage
 type t = {
   rt : Runtime.t;
   mutable gc_handles : Scheduler.recurring list;
+  mutable gc_lanes : Scheduler.lane list;
   mutable teardown_hooks : (unit -> unit) list;
   mutable torn_down : bool;
+  (* Cached globally-live marks (per-process bytes indexed by dense
+     id) with the staleness signature and dense generations they were
+     computed under — see [live_marks] below.  [live_sig = min_int]
+     means no cache. *)
+  mutable live_marks : Bytes.t array;
+  mutable live_sig : int;
+  mutable live_gens : int array;
 }
 
 let crash_proc rt i =
@@ -73,7 +81,16 @@ let create ?(seed = 42) ?config ?net_config ?(faults = Faults.none) ?trace_capac
           Scheduler.schedule_at sched ~time:at (fun () -> restart_proc rt proc)
       | Faults.Partition _ -> (* the network schedules these *) ())
     faults.Faults.events;
-  { rt; gc_handles = []; teardown_hooks = []; torn_down = false }
+  {
+    rt;
+    gc_handles = [];
+    gc_lanes = [];
+    teardown_hooks = [];
+    torn_down = false;
+    live_marks = [||];
+    live_sig = min_int;
+    live_gens = [||];
+  }
 
 let rt t = t.rt
 
@@ -104,38 +121,47 @@ let run_until t ~time = Scheduler.run_until (sched t) ~time
 let drain ?limit t = Scheduler.drain ?limit (sched t)
 
 let start_gc t =
-  if t.gc_handles = [] then begin
+  if t.gc_lanes = [] then begin
     let cfg = t.rt.Runtime.config in
-    let handles = ref [] in
-    Array.iteri
-      (fun i p ->
-        (* Phase-stagger the duties so processes do not collect in
-           lockstep — closer to independent real processes. *)
-        let lgc_phase = 1 + (i * cfg.Runtime.lgc_period / Int.max 1 (n_procs t)) in
-        let set_phase = 1 + (i * cfg.Runtime.new_set_period / Int.max 1 (n_procs t)) in
-        let h1 =
-          Scheduler.every (sched t) ~phase:lgc_phase ~period:cfg.Runtime.lgc_period (fun () ->
-              if p.Process.alive then ignore (Lgc.run t.rt p : Lgc.report))
-        in
-        let h2 =
-          Scheduler.every (sched t) ~phase:set_phase ~period:cfg.Runtime.new_set_period
-            (fun () ->
-              if p.Process.alive then begin
-                Reflist.send_new_sets t.rt p;
-                Reflist.probe_idle_scions t.rt p ~threshold:(3 * cfg.Runtime.new_set_period);
-                Reflist.reap_dead_holders t.rt p
-              end)
-        in
-        handles := h1 :: h2 :: !handles)
-      t.rt.Runtime.procs;
-    t.gc_handles <- !handles
+    let n = n_procs t in
+    let procs = t.rt.Runtime.procs in
+    (* Phase-stagger the duties so processes do not collect in
+       lockstep — closer to independent real processes.  Each duty
+       kind is one scheduler {e lane}: a single global-queue event per
+       kind with the members' fire times in a lane-local heap, so the
+       global queue holds O(duty kinds) entries instead of
+       O(processes x duty kinds) — the per-member fire instants are
+       unchanged. *)
+    let lgc =
+      Scheduler.lane (sched t) ~n
+        ~phase_of:(fun i -> 1 + (i * cfg.Runtime.lgc_period / Int.max 1 n))
+        ~period:cfg.Runtime.lgc_period
+        (fun i ->
+          let p = procs.(i) in
+          if p.Process.alive then ignore (Lgc.run t.rt p : Lgc.report))
+    in
+    let sets =
+      Scheduler.lane (sched t) ~n
+        ~phase_of:(fun i -> 1 + (i * cfg.Runtime.new_set_period / Int.max 1 n))
+        ~period:cfg.Runtime.new_set_period
+        (fun i ->
+          let p = procs.(i) in
+          if p.Process.alive then begin
+            Reflist.send_new_sets t.rt p;
+            Reflist.probe_idle_scions t.rt p ~threshold:(3 * cfg.Runtime.new_set_period);
+            Reflist.reap_dead_holders t.rt p
+          end)
+    in
+    t.gc_lanes <- [ lgc; sets ]
   end
 
 let stop_gc t =
   List.iter Scheduler.cancel t.gc_handles;
-  t.gc_handles <- []
+  t.gc_handles <- [];
+  List.iter Scheduler.cancel_lane t.gc_lanes;
+  t.gc_lanes <- []
 
-let gc_running t = t.gc_handles <> []
+let gc_running t = t.gc_lanes <> [] || t.gc_handles <> []
 
 let at_teardown t hook = t.teardown_hooks <- hook :: t.teardown_hooks
 
@@ -169,53 +195,179 @@ let total_objects t =
     (fun acc p -> if p.Process.alive then acc + Heap.size p.Process.heap else acc)
     0 t.rt.Runtime.procs
 
+(* The one ground-truth global tracer: seeds are all local roots plus
+   the references in-flight messages keep importable ([Msg.live_refs]
+   — notably an RMI reply's target field is excluded, it is never
+   imported; the network maintains that multiset incrementally).  The
+   fixpoint buckets the remote frontier per owner and re-enters each
+   heap {e without} resetting its visited marks ([trace_dense
+   ~reset:false] after the first visit), so across all rounds every
+   object is traced exactly once and nothing but the per-round seed
+   lists is allocated — at a thousand processes and millions of
+   objects this is what keeps the oracle's clean-poll affordable.
+   [visit i id] receives each live local object (by owner index and
+   dense id) exactly once. *)
+let trace_globally_live t ~visit =
+  Stats.incr t.rt.Runtime.stats "cluster.global_traces";
+  let procs = t.rt.Runtime.procs in
+  let n = Array.length procs in
+  let buckets = Array.make n [] in
+  let pending = ref 0 in
+  let push oid =
+    let owner = Proc_id.to_int (Oid.owner oid) in
+    if owner >= 0 && owner < n then begin
+      buckets.(owner) <- oid :: buckets.(owner);
+      incr pending
+    end
+  in
+  Array.iter
+    (fun p -> if p.Process.alive then List.iter push (Heap.roots p.Process.heap))
+    procs;
+  Network.iter_in_flight_live_refs (net t) push;
+  let started = Array.make n false in
+  while !pending > 0 do
+    pending := 0;
+    for i = 0 to n - 1 do
+      match buckets.(i) with
+      | [] -> ()
+      | seeds ->
+          buckets.(i) <- [];
+          let p = procs.(i) in
+          if p.Process.alive then begin
+            let reset = not started.(i) in
+            started.(i) <- true;
+            Heap.trace_dense ~reset p.Process.heap ~from:seeds
+              ~visit_local:(fun id -> visit i id)
+              ~visit_remote:push
+          end
+    done
+  done
+
 let globally_live t =
-  (* Seeds: all local roots plus references inside in-flight messages
-     ([Msg.live_refs]: what a delivery can import — notably an RMI
-     reply's target field is excluded, it is never imported).  This is
-     the one ground-truth tracer; the oracle, the metrics sampler and
-     the model checker all call it. *)
-  let seeds =
-    Array.fold_left
-      (fun acc p ->
-        if p.Process.alive then List.rev_append (Heap.roots p.Process.heap) acc else acc)
-      [] t.rt.Runtime.procs
-  in
-  let seeds =
-    List.fold_left
-      (fun acc (m : Msg.t) -> List.rev_append (Msg.live_refs m.Msg.payload) acc)
-      seeds
-      (Network.in_flight (net t))
-  in
-  (* Global BFS: trace within each heap, carry the remote frontier
-     across processes until a fixpoint. *)
   let live = ref Oid.Set.empty in
-  let frontier = ref (List.fold_left (fun s o -> Oid.Set.add o s) Oid.Set.empty seeds) in
-  while not (Oid.Set.is_empty !frontier) do
-    let by_proc =
-      Oid.Set.fold
-        (fun oid acc ->
-          if Oid.Set.mem oid !live then acc
-          else
-            let owner = Proc_id.to_int (Oid.owner oid) in
-            let prev = match List.assoc_opt owner acc with Some l -> l | None -> [] in
-            (owner, oid :: prev) :: List.remove_assoc owner acc)
-        !frontier []
-    in
-    frontier := Oid.Set.empty;
-    List.iter
-      (fun (owner, oids) ->
-        let p = t.rt.Runtime.procs.(owner) in
-        if not p.Process.alive then ()
-        else
-        let { Heap.local; remote } = Heap.trace p.Process.heap ~from:oids in
-        live := Oid.Set.union !live local;
-        Oid.Set.iter
-          (fun r -> if not (Oid.Set.mem r !live) then frontier := Oid.Set.add r !frontier)
-          remote)
-      by_proc
-  done;
+  trace_globally_live t ~visit:(fun i id ->
+      live := Oid.Set.add (Heap.dense_oid t.rt.Runtime.procs.(i).Process.heap id) !live);
   !live
+
+let garbage_count t =
+  (* Same fixpoint, but only counting: garbage on each alive heap is
+     its population minus the objects the global trace reached there.
+     No sets, no oid materialization — the run-until-clean poll's
+     fast path. *)
+  let procs = t.rt.Runtime.procs in
+  let live_counts = Array.make (Array.length procs) 0 in
+  trace_globally_live t ~visit:(fun i _id -> live_counts.(i) <- live_counts.(i) + 1);
+  let total = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if p.Process.alive then total := !total + Heap.size p.Process.heap - live_counts.(i))
+    procs;
+  !total
+
+(* The message kinds whose payloads can carry importable references —
+   the in-flight population of these is part of the reachability
+   inputs, so their send/deliver/drop counters belong in every
+   liveness staleness signature.  (The group envelopes are ref-free in
+   practice, only ref-free DGC control payloads are relayed, but the
+   message type permits refs inside them so they stay in the
+   conservative set.)  [Sim.run_until_clean] shares this list. *)
+let ref_carrying_kinds =
+  [
+    "rmi_request";
+    "rmi_reply";
+    "export_notice";
+    "export_ack";
+    "batch";
+    "group_fwd";
+    "group_relay";
+  ]
+
+(* Staleness signature for the live-mark cache: every component is a
+   monotonic counter, so the sum strictly grows on any change and two
+   equal readings prove every input to global reachability — roots,
+   edges, allocations, in-flight references, crash state — is
+   untouched.  Crucially it folds [Heap.live_mutations], {e not}
+   [Heap.mutations]: removals are excluded, because a (safe) sweep
+   deletes only garbage and therefore cannot move the globally-live
+   set.  That is what lets hundreds of staggered per-process sweeps
+   validate against one trace instead of one trace each. *)
+let live_signature t =
+  let stats = t.rt.Runtime.stats in
+  let acc = ref 0 in
+  Array.iter (fun p -> acc := !acc + Heap.live_mutations p.Process.heap) t.rt.Runtime.procs;
+  acc := !acc + Stats.get stats "cluster.crashes" + Stats.get stats "cluster.restarts";
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun ev -> acc := !acc + Stats.get stats ("net.msg." ^ ev ^ "." ^ kind))
+        [ "sent"; "delivered"; "dropped" ])
+    ref_carrying_kinds;
+  !acc
+
+(* Cached globally-live marks: per-process byte arrays indexed by
+   dense id, recomputed only when [live_signature] moved or an
+   interner rebuild reassigned some heap's dense ids (ids are
+   append-only otherwise, so removals leave existing marks
+   index-valid).  The exactness argument is inductive: the marks are
+   exact when computed, and every event that could change the live
+   set bumps the signature — except a sweep, which (if safe) deletes
+   only garbage.  An {e unsafe} sweep is precisely what the pre-sweep
+   hooks catch against these marks before it happens, so the first
+   violation is always judged against exact ground truth. *)
+let live_marks t =
+  let procs = t.rt.Runtime.procs in
+  let n = Array.length procs in
+  let s = live_signature t in
+  (* Sync before judging validity: a pending resync may rebuild the
+     interner, and generations must be read post-sync. *)
+  let gens = Array.make n (-1) in
+  Array.iteri
+    (fun i p ->
+      if p.Process.alive then begin
+        ignore (Heap.dense_sync p.Process.heap : int);
+        gens.(i) <- Heap.dense_generation p.Process.heap
+      end)
+    procs;
+  if s = t.live_sig && t.live_gens = gens && Array.length t.live_marks = n then begin
+    Stats.incr t.rt.Runtime.stats "cluster.live_checks.cached";
+    t.live_marks
+  end
+  else begin
+    let marks =
+      Array.init n (fun i ->
+          let p = procs.(i) in
+          if p.Process.alive then Bytes.make (Heap.dense_sync p.Process.heap) '\000'
+          else Bytes.empty)
+    in
+    trace_globally_live t ~visit:(fun i id ->
+        if id < Bytes.length marks.(i) then Bytes.unsafe_set marks.(i) id '\001');
+    t.live_marks <- marks;
+    t.live_gens <- gens;
+    t.live_sig <- s;
+    marks
+  end
+
+let live_mem t marks oid =
+  let procs = t.rt.Runtime.procs in
+  let i = Proc_id.to_int (Oid.owner oid) in
+  i >= 0
+  && i < Array.length procs
+  && procs.(i).Process.alive
+  &&
+  match Heap.dense_id procs.(i).Process.heap oid with
+  | Some id -> id < Bytes.length marks.(i) && Bytes.get marks.(i) id = '\001'
+  | None -> false
+
+let live_among t oids =
+  match oids with
+  | [] -> []
+  | _ ->
+      let marks = live_marks t in
+      List.filter (fun oid -> live_mem t marks oid) oids
+
+let live_predicate t =
+  let marks = live_marks t in
+  fun oid -> live_mem t marks oid
 
 let garbage t =
   let live = globally_live t in

@@ -104,8 +104,47 @@ val total_objects : t -> int
 val globally_live : t -> Oid.Set.t
 (** Objects reachable from the union of all local roots, crossing
     remote references, plus everything reachable from references
-    sitting inside in-flight messages.  This is ground truth — no
-    protocol state is consulted. *)
+    sitting inside in-flight messages (the network's incrementally
+    maintained live-ref multiset).  This is ground truth — no protocol
+    state is consulted.  The fixpoint enters each heap with persistent
+    visited marks, so every object is traced exactly once per call
+    regardless of how many rounds the cross-process frontier takes. *)
+
+val ref_carrying_kinds : string list
+(** The message kinds whose payloads can carry importable references.
+    Their in-flight population is a reachability input, so the
+    [net.msg.{sent,delivered,dropped}.<kind>] counters for exactly
+    these kinds belong in every liveness staleness signature
+    ({!live_among}'s cache, {!Adgc.Sim.run_until_clean}). *)
+
+val live_among : t -> Oid.t list -> Oid.t list
+(** Subset of the given oids that {!globally_live} would contain,
+    computed without materializing the set: membership is judged
+    against cached per-process mark bytes indexed by dense id.  The
+    cache revalidates against a monotonic staleness signature that
+    folds every reachability input {e except removals}
+    ({!Heap.live_mutations}, crash/restart counts, the in-flight
+    counters of {!ref_carrying_kinds}) plus each heap's
+    {!Heap.dense_generation} — a safe sweep deletes only garbage and
+    reassigns no dense id, so consecutive staggered sweeps all
+    validate against one global trace instead of one trace each.  An
+    unsafe sweep is exactly what the pre-sweep hooks call this to
+    catch, before the sweep happens, so the first violation is always
+    judged against exact ground truth. *)
+
+val live_predicate : t -> Oid.t -> bool
+(** [live_predicate t] returns an O(1) membership test for
+    {!globally_live} backed by the same cached marks as
+    {!live_among}.  The returned predicate is only valid until the
+    next heap mutation, delivery or crash. *)
 
 val garbage : t -> Oid.Set.t
 (** All objects minus {!globally_live}. *)
+
+val garbage_count : t -> int
+(** [Oid.Set.cardinal (garbage t)], computed without materializing
+    either set: the global trace only counts live objects per heap and
+    garbage is each alive heap's population minus that.  The
+    run-until-clean poll's fast path — at a thousand processes and
+    millions of objects the set-building variants are unaffordable per
+    poll. *)

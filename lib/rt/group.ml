@@ -1,0 +1,30 @@
+(* Hierarchical process groups: pure arithmetic over the flat rank
+   space.  A group is a contiguous slice of [size] ranks; group g owns
+   ranks [g*size, (g+1)*size).  Grouping is a routing overlay only —
+   no protocol state lives here — so every helper is a total function
+   of (size, rank) plus an aliveness predicate for proxy election. *)
+
+let enabled ~size = size > 1
+
+let of_rank ~size r = if size <= 1 then r else r / size
+
+let same ~size a b = size <= 1 || a / size = b / size
+
+let count ~size ~n = if size <= 1 then n else (n + size - 1) / size
+
+let members ~size ~n g =
+  if size <= 1 then if g >= 0 && g < n then [ g ] else []
+  else
+    let lo = g * size and hi = Int.min n ((g + 1) * size) in
+    if lo >= n then [] else List.init (hi - lo) (fun i -> lo + i)
+
+(* The group's proxy is its lowest alive rank — a deterministic
+   election every member computes locally from its failure view.
+   Electing at send time (rather than caching) gives crash failover
+   for free: the tick after the proxy dies, traffic flows through the
+   next member. *)
+let proxy ~size ~n ~alive g =
+  let lo = if size <= 1 then g else g * size in
+  let hi = if size <= 1 then g + 1 else Int.min n ((g + 1) * size) in
+  let rec go r = if r >= hi then None else if alive r then Some r else go (r + 1) in
+  if lo < 0 || lo >= n then None else go lo

@@ -1,0 +1,32 @@
+(** Hierarchical process groups — pure rank arithmetic.
+
+    When {!Runtime.config.group_size} is [> 1], the flat clique is
+    overlaid with contiguous groups of that many ranks; DGC control
+    traffic crossing a group boundary funnels through each group's
+    {e proxy} (its lowest alive member) as {!Msg.Group_relay}
+    envelopes.  This module is the one place the rank→group mapping
+    lives; it holds no state, so the sim and socket drivers and the
+    model checker all share exactly the same topology function.
+
+    A [size <= 1] degenerates to the flat clique: every rank is its
+    own group, and — since there are no boundaries to cross — {!same}
+    is vacuously true for every pair. *)
+
+val enabled : size:int -> bool
+
+val of_rank : size:int -> int -> int
+(** Group owning a flat rank. *)
+
+val same : size:int -> int -> int -> bool
+(** Whether two ranks share a group. *)
+
+val count : size:int -> n:int -> int
+(** Number of (possibly ragged-tailed) groups over [n] ranks. *)
+
+val members : size:int -> n:int -> int -> int list
+(** Ranks of a group, ascending; [[]] for an out-of-range group. *)
+
+val proxy : size:int -> n:int -> alive:(int -> bool) -> int -> int option
+(** The group's proxy: its lowest alive rank, or [None] when the whole
+    group is down.  Computed fresh from the caller's aliveness view at
+    every send, so a crashed proxy fails over without any handshake. *)

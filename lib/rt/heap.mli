@@ -60,6 +60,17 @@ val reclaim_mutations : t -> int
     cached nonzero garbage count cannot have dropped to zero, which is
     the only transition the clean-poll waits for. *)
 
+val live_mutations : t -> int
+(** Monotonic counter bumped by every mutation class that can change
+    the {e globally-live} set: everything {!mutations} counts except
+    removals ({!remove}).  A (safe) sweep only deletes garbage, which
+    is by definition outside the live set, so while this counter (and
+    its peers across the cluster, plus the in-flight message counters)
+    stands still, a cached live-set answer remains exact — sweeps or
+    not.  {!Adgc_rt.Cluster.live_among} keys its mark cache on this,
+    which is what makes per-sweep safety checking affordable at
+    scale. *)
+
 (** {1 Allocation and mutation} *)
 
 val alloc : ?fields:int -> ?payload:int -> t -> obj
@@ -184,6 +195,13 @@ val dense_id : t -> Oid.t -> int option
 (** Dense id of a {e live} local object; [None] for remote, swept or
     unknown oids. *)
 
+val dense_generation : t -> int
+(** Bumped each time the dense interner is rebuilt (compaction after
+    heavy sweeping): every dense id is reassigned then.  Between two
+    equal readings taken after a {!dense_sync}, ids are append-only —
+    existing ids keep naming the same objects — so per-id caches
+    (the cluster's live marks) remain index-valid. *)
+
 val dense_oid : t -> int -> Oid.t
 (** Oid owning a dense id.
     @raise Invalid_argument when the id was never assigned. *)
@@ -195,6 +213,7 @@ val iter_dense : t -> (int -> obj -> unit) -> unit
 (** Every live object with its dense id, in id order. *)
 
 val trace_dense :
+  ?reset:bool ->
   t ->
   from:Oid.t list ->
   visit_local:(int -> unit) ->
@@ -203,4 +222,23 @@ val trace_dense :
 (** Callback form of {!trace}: reports each reached local object (by
     dense id) and each distinct remote reference exactly once, without
     building sets.  [visit_remote] fires during the walk,
-    [visit_local] once the walk is complete. *)
+    [visit_local] once the walk is complete.
+
+    The walk itself runs over an int-packed adjacency mirror of the
+    field arrays ({!Adgc_util.Dense.Csr}, maintained incrementally by
+    the mutators), so the hot loop performs no hashing and no
+    allocation.
+
+    [reset] (default [true]) clears the visited marks first.  Passing
+    [false] continues the previous walk's marks: already-visited
+    objects and remote refs are skipped, and [visit_local] reports
+    only the objects {e newly} reached by this call — how the global
+    oracle runs its cross-process fixpoint without revisiting whole
+    heaps each round.  Only valid while the heap is unmutated since
+    the previous call (mutation may compact the dense ids the marks
+    refer to). *)
+
+val dense_words : t -> int
+(** Approximate words held by the dense-trace machinery (slot/queue
+    arrays, packed adjacency, mark bitsets) — the benchmarks' peak
+    memory proxy.  Does not force a resync. *)

@@ -13,6 +13,8 @@ type payload =
   | Bt of Btmsg.t
   | Hughes of Hmsg.t
   | Batch of payload list
+  | Group_fwd of { orig_src : Proc_id.t; inner : payload }
+  | Group_relay of { entries : (Proc_id.t * Proc_id.t * payload) list }
 
 type t = { src : Proc_id.t; dst : Proc_id.t; seq : int; sent_at : int; payload : payload }
 
@@ -30,6 +32,8 @@ let kind = function
   | Bt _ -> "bt"
   | Hughes _ -> "hughes"
   | Batch _ -> "batch"
+  | Group_fwd _ -> "group_fwd"
+  | Group_relay _ -> "group_relay"
 
 let rec payload_refs = function
   | Rmi_request { target; args; _ } -> target :: args
@@ -41,6 +45,8 @@ let rec payload_refs = function
   | Bt _ -> []
   | Hughes _ -> []
   | Batch payloads -> List.concat_map payload_refs payloads
+  | Group_fwd { inner; _ } -> payload_refs inner
+  | Group_relay { entries } -> List.concat_map (fun (_, _, p) -> payload_refs p) entries
 
 (* Ground-truth view: what a delivery can actually import.  A reply's
    [target] names the called object for bookkeeping but is never
@@ -51,6 +57,8 @@ let rec payload_refs = function
 let rec live_refs = function
   | Rmi_reply { results; _ } -> results
   | Batch payloads -> List.concat_map live_refs payloads
+  | Group_fwd { inner; _ } -> live_refs inner
+  | Group_relay { entries } -> List.concat_map (fun (_, _, p) -> live_refs p) entries
   | p -> payload_refs p
 
 let oid_sval (o : Oid.t) = Sval.List [ Sval.Int (Proc_id.to_int (Oid.owner o)); Sval.Int o.Oid.serial ]
@@ -98,6 +106,16 @@ let rec payload_sval = function
   | Bt bt -> Btmsg.to_sval bt
   | Hughes h -> Hmsg.to_sval h
   | Batch payloads -> Sval.Record ("batch", [ ("msgs", Sval.List (List.map payload_sval payloads)) ])
+  | Group_fwd { orig_src; inner } ->
+      Sval.Record
+        ( "group_fwd",
+          [ ("orig_src", Sval.Int (Proc_id.to_int orig_src)); ("inner", payload_sval inner) ] )
+  | Group_relay { entries } ->
+      let entry (orig_src, final_dst, p) =
+        Sval.List
+          [ Sval.Int (Proc_id.to_int orig_src); Sval.Int (Proc_id.to_int final_dst); payload_sval p ]
+      in
+      Sval.Record ("group_relay", [ ("entries", Sval.List (List.map entry entries)) ])
 
 let to_sval t =
   Sval.Record
@@ -194,13 +212,29 @@ let rec payload_of_sval sval =
       Option.map (fun h -> Hughes h) (Hmsg.of_sval sval)
   | Sval.Record ("batch", [ ("msgs", Sval.List payloads) ]) ->
       (* Batches are never nested, and a decoded batch must not smuggle
-         one in. *)
+         one in.  The group wrappers are likewise flat: a relayed
+         payload is always a bare DGC control message. *)
       let constituent sv =
         match payload_of_sval sv with
-        | Some (Batch _) -> None
+        | Some (Batch _ | Group_fwd _ | Group_relay _) -> None
         | (Some _ | None) as r -> r
       in
       Option.map (fun payloads -> Batch payloads) (all_of constituent payloads)
+  | Sval.Record ("group_fwd", [ ("orig_src", Sval.Int orig_src); ("inner", inner) ])
+    when orig_src >= 0 -> (
+      match payload_of_sval inner with
+      | Some (Batch _ | Group_fwd _ | Group_relay _) | None -> None
+      | Some inner -> Some (Group_fwd { orig_src = Proc_id.of_int orig_src; inner }))
+  | Sval.Record ("group_relay", [ ("entries", Sval.List entries) ]) ->
+      let entry = function
+        | Sval.List [ Sval.Int orig_src; Sval.Int final_dst; p ] when orig_src >= 0 && final_dst >= 0
+          -> (
+            match payload_of_sval p with
+            | Some (Batch _ | Group_fwd _ | Group_relay _) | None -> None
+            | Some p -> Some (Proc_id.of_int orig_src, Proc_id.of_int final_dst, p))
+        | _ -> None
+      in
+      Option.map (fun entries -> Group_relay { entries }) (all_of entry entries)
   | _ -> None
 
 let of_sval = function

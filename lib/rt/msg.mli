@@ -59,6 +59,22 @@ type payload =
           same destination within one flush window travels as a single
           latency-charged envelope ({!Runtime.send_dgc}).  Delivery
           unpacks in queueing order.  Never nested. *)
+  | Group_fwd of { orig_src : Proc_id.t; inner : payload }
+      (** Last hop of group-relayed DGC traffic: the destination
+          group's proxy hands the payload to its final recipient, who
+          handles [inner] exactly as if [orig_src] had sent it
+          directly (the protocol handlers see the true holder, not the
+          relay).  Never nested; [inner] is always a bare DGC control
+          payload. *)
+  | Group_relay of { entries : (Proc_id.t * Proc_id.t * payload) list }
+      (** Aggregated cross-group DGC traffic: each entry is
+          [(orig_src, final_dst, payload)].  Members hand their
+          cross-group control messages to their group's proxy, proxies
+          coalesce everything bound for the same destination group
+          into one of these per flush window, and the receiving proxy
+          unpacks — delivering local entries and {!Group_fwd}-ing the
+          rest.  The only envelope kind that crosses a group boundary
+          on the DGC control plane when grouping is on. *)
 
 type t = {
   src : Proc_id.t;

@@ -32,6 +32,10 @@ type t = {
   mutable deliver : (Msg.t -> unit) option;
   mutable transport : (Msg.t -> bool) option;
   in_flight : (int, Msg.t) Hashtbl.t;  (** keyed by injection id *)
+  link_counts : (int * int, int ref) Hashtbl.t;
+      (** in-flight envelopes per (src, dst) link — O(1) view of the registry *)
+  live_refs : int Oid.Tbl.t;
+      (** multiset of the live references carried by in-flight envelopes *)
   mutable next_id : int;
   cut : (int * int, unit) Hashtbl.t;  (** partitioned links (scheduled and manual) *)
   burst : (int * int, bool ref) Hashtbl.t;  (** Gilbert–Elliott state per link; [true] = in a burst *)
@@ -54,6 +58,8 @@ let create ?(faults = Faults.none) ~sched ~rng ~stats ~config () =
       deliver = None;
       transport = None;
       in_flight = Hashtbl.create 64;
+      link_counts = Hashtbl.create 64;
+      live_refs = Oid.Tbl.create 64;
       next_id = 0;
       cut = Hashtbl.create 4;
       burst = Hashtbl.create 4;
@@ -160,6 +166,39 @@ let draw_latency t (lk : Faults.link) =
   end
   else base
 
+(* O(1) shadow bookkeeping for the registry.  The [in_flight] table
+   stays the ground truth, but neither the oracle's reachability seeds
+   nor any per-tick stat may scan it: alongside it we keep a per-link
+   envelope counter and a multiset of the live references the parked
+   and travelling envelopes carry, maintained at the four points where
+   an envelope enters or leaves the registry (timed injection, timed
+   delivery, manual park, manual take). *)
+let register t (msg : Msg.t) =
+  (let key = link_key msg.Msg.src msg.Msg.dst in
+   match Hashtbl.find_opt t.link_counts key with
+   | Some r -> incr r
+   | None -> Hashtbl.add t.link_counts key (ref 1));
+  List.iter
+    (fun o ->
+      let n = match Oid.Tbl.find_opt t.live_refs o with Some n -> n | None -> 0 in
+      Oid.Tbl.replace t.live_refs o (n + 1))
+    (Msg.live_refs msg.Msg.payload)
+
+let unregister t (msg : Msg.t) =
+  (let key = link_key msg.Msg.src msg.Msg.dst in
+   match Hashtbl.find_opt t.link_counts key with
+   | Some r ->
+       decr r;
+       if !r = 0 then Hashtbl.remove t.link_counts key
+   | None -> assert false);
+  List.iter
+    (fun o ->
+      match Oid.Tbl.find_opt t.live_refs o with
+      | Some 1 -> Oid.Tbl.remove t.live_refs o
+      | Some n -> Oid.Tbl.replace t.live_refs o (n - 1)
+      | None -> assert false)
+    (Msg.live_refs msg.Msg.payload)
+
 (* Put one copy of the message on the wire.  Each copy gets its own
    injection id and latency draw, so a duplicate can overtake the
    original. *)
@@ -167,8 +206,10 @@ let inject t deliver (msg : Msg.t) ~latency =
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
   Hashtbl.replace t.in_flight id msg;
+  register t msg;
   Scheduler.schedule_after t.sched ~delay:latency (fun () ->
       Hashtbl.remove t.in_flight id;
+      unregister t msg;
       Stats.incr t.stats "net.msg.delivered";
       Stats.incr t.stats ("net.msg.delivered." ^ Msg.kind msg.payload);
       deliver msg)
@@ -212,7 +253,8 @@ let send t (msg : Msg.t) =
         account t msg;
         let id = t.next_id in
         t.next_id <- id + 1;
-        Hashtbl.replace t.in_flight id msg
+        Hashtbl.replace t.in_flight id msg;
+        register t msg
     | Timed ->
         let lk = active_link t key in
         if draw_loss t key lk then drop None
@@ -233,6 +275,13 @@ let in_flight t =
 
 let in_flight_count t = Hashtbl.length t.in_flight
 
+let in_flight_on t ~src ~dst =
+  match Hashtbl.find_opt t.link_counts (link_key src dst) with Some r -> !r | None -> 0
+
+let iter_in_flight_live_refs t f = Oid.Tbl.iter (fun o _ -> f o) t.live_refs
+
+let in_flight_live_ref_count t = Oid.Tbl.length t.live_refs
+
 let pending t =
   Hashtbl.fold (fun id m acc -> (id, m) :: acc) t.in_flight []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
@@ -242,6 +291,7 @@ let take_pending t id =
   | None -> invalid_arg "Network: unknown pending envelope id"
   | Some msg ->
       Hashtbl.remove t.in_flight id;
+      unregister t msg;
       msg
 
 let deliver_one t id =

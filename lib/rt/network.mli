@@ -89,10 +89,30 @@ val block_link : t -> Proc_id.t -> Proc_id.t -> unit
 val unblock_link : t -> Proc_id.t -> Proc_id.t -> unit
 
 val in_flight : t -> Msg.t list
-(** Sorted by injection id (send order), so tests and the oracle
-    iterate deterministically. *)
+(** Sorted by injection id (send order).  {b Tests and the model
+    checker only}: this materialises and sorts the whole registry
+    (O(n log n) per call), so nothing on a runtime, oracle or stats
+    hot path may use it — those go through the O(1) views below
+    ({!in_flight_count}, {!in_flight_on}, {!iter_in_flight_live_refs}),
+    which are maintained incrementally as envelopes enter and leave
+    the wire. *)
 
 val in_flight_count : t -> int
+(** O(1). *)
+
+val in_flight_on : t -> src:Proc_id.t -> dst:Proc_id.t -> int
+(** In-flight envelopes currently on one directed link.  O(1), backed
+    by per-link counters. *)
+
+val iter_in_flight_live_refs : t -> (Oid.t -> unit) -> unit
+(** Iterate the distinct object references kept reachable by in-flight
+    envelopes ({!Msg.live_refs} of every registered payload) — the
+    oracle's message-seed set, without scanning the registry.  Each
+    distinct reference is presented once regardless of how many
+    envelopes carry it. *)
+
+val in_flight_live_ref_count : t -> int
+(** Number of distinct in-flight live references.  O(1). *)
 
 (** {2 Manual delivery} — only meaningful in {!Manual} mode. *)
 

@@ -61,6 +61,26 @@ type config = {
           batch is flushed.  Bounds the extra latency added to CDM
           propagation and stub-set timeliness — keep it well under
           [new_set_period] and the detector's scan period. *)
+  group_size : int;
+      (** hierarchical-group overlay: ranks are partitioned into
+          contiguous groups of this many processes ({!Group}).  [<= 1]
+          means the flat clique (the default).  Turning this on alone
+          only adds accounting — every envelope crossing a group
+          boundary bumps [net.msg.xgroup] (and [net.msg.xgroup.dgc]
+          for control-plane kinds) — which is what makes the flat
+          baseline of the cut-factor comparison honest. *)
+  group_relay : bool;
+      (** route cross-group DGC control traffic ({!send_dgc}) through
+          group proxies as aggregated {!Msg.Group_relay} envelopes
+          instead of point-to-point.  Requires [group_size > 1] to
+          have any effect.  Protocol outcomes are unaffected (the
+          handlers see the original sender); only message topology and
+          latency change. *)
+  group_window : int;
+      (** how long a cross-group entry may sit in its per-group relay
+          queue before the {!Msg.Group_relay} flush.  [0] flushes
+          synchronously inside {!send_dgc} — no scheduler involvement,
+          which the model checker's frozen-clock mode requires. *)
 }
 (** Immutable: fix the knobs before building the cluster (functional
     record update on {!default_config}).  Sharing one config value
@@ -139,3 +159,30 @@ val flush_batch : t -> src:Proc_id.t -> dst:Proc_id.t -> unit
 val flush_all_batches : t -> unit
 (** Flush every process's pending batches immediately (tests and
     shutdown). *)
+
+(** {2 Hierarchical groups} — see {!field:config.group_size}. *)
+
+val same_group : t -> Proc_id.t -> Proc_id.t -> bool
+(** Whether two processes share a group ([true] for everyone in flat
+    mode). *)
+
+val group_of : t -> Proc_id.t -> int
+
+val group_proxy : t -> int -> int option
+(** The group's current proxy rank — its lowest alive member — or
+    [None] when the whole group is down.  Recomputed from the live
+    aliveness view on every call (crash failover needs no handshake). *)
+
+val relay_enqueue : t -> src:Proc_id.t -> orig_src:Proc_id.t -> final_dst:Proc_id.t -> Msg.payload -> unit
+(** Queue one cross-group control payload at [src] for the group of
+    [final_dst]; flushed as part of one {!Msg.Group_relay} after
+    [config.group_window] ticks (synchronously when the window is 0).
+    {!Dispatch} uses this to forward relay entries that are still
+    short of their destination group. *)
+
+val flush_relay : t -> src:Proc_id.t -> group:int -> unit
+(** Flush [src]'s pending relay queue toward one destination group
+    (idempotent).  Elects next hop at flush time. *)
+
+val flush_all_relays : t -> unit
+(** Flush every process's pending relay queues (tests and shutdown). *)

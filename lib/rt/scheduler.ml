@@ -60,3 +60,52 @@ let every t ?phase ~period f =
   handle
 
 let cancel handle = handle.active <- false
+
+(* A lane carries one periodic duty for [n] members through a single
+   scheduler event: member fire times live in a lane-local heap and
+   only the earliest is armed in the global queue.  At 1k+ processes
+   this keeps the global queue at O(duty kinds) instead of
+   O(processes x duty kinds) entries, while each member still fires at
+   exactly [now + phase_of i + k * period] — the same instants the
+   per-member [every] handles produced. *)
+type lane = {
+  mutable lane_active : bool;
+  members : (int, int) Heap_queue.t; (* next fire time -> member *)
+  mutable armed_at : int; (* time of the armed event; -1 = none *)
+}
+
+let lane t ~n ~phase_of ~period f =
+  if period <= 0 then invalid_arg "Scheduler.lane: period must be positive";
+  let l = { lane_active = true; members = Heap_queue.create ~compare:Int.compare; armed_at = -1 } in
+  for i = 0 to n - 1 do
+    let phase = phase_of i in
+    if phase < 0 then invalid_arg "Scheduler.lane: negative phase";
+    Heap_queue.push l.members (t.now + phase) i
+  done;
+  let rec arm () =
+    match Heap_queue.peek l.members with
+    | None -> l.armed_at <- -1
+    | Some (time, _) ->
+        l.armed_at <- time;
+        schedule_at t ~time (fun () ->
+            if l.lane_active && l.armed_at = time then begin
+              (* Run every member due now (same-time members in push,
+                 i.e. FIFO, order), rescheduling each one period out. *)
+              let continue = ref true in
+              while !continue do
+                match Heap_queue.peek l.members with
+                | Some (due, _) when due <= t.now -> (
+                    match Heap_queue.pop l.members with
+                    | Some (_, i) ->
+                        Heap_queue.push l.members (due + period) i;
+                        f i
+                    | None -> continue := false)
+                | Some _ | None -> continue := false
+              done;
+              arm ()
+            end)
+  in
+  arm ();
+  l
+
+let cancel_lane l = l.lane_active <- false

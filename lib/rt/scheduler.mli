@@ -43,3 +43,17 @@ val every :
     one full period), then every [period] ticks until cancelled. *)
 
 val cancel : recurring -> unit
+
+type lane
+
+val lane :
+  t -> n:int -> phase_of:(int -> int) -> period:int -> (int -> unit) -> lane
+(** One periodic duty shared by [n] members through a {e single}
+    scheduler event: member [i] first fires at [now + phase_of i] and
+    every [period] ticks after, exactly as [n] separate {!every}
+    handles would, but the global event queue holds one entry per lane
+    instead of one per member — the sharded-scheduler layout that
+    keeps 1k+ process cliques from drowning the queue.  Members due at
+    the same tick run in FIFO order of their previous firing. *)
+
+val cancel_lane : lane -> unit

@@ -43,6 +43,60 @@ module Mark : sig
   val capacity : t -> int
 end
 
+(** Growable int-packed adjacency over dense row ids.
+
+    Each row is a chain of fixed-size blocks inside one flat [int
+    array]: adding an edge writes one slot, iterating a row touches
+    only that array, and a graph with millions of edges costs a
+    handful of arrays rather than millions of boxed cells.  Blocks
+    freed by {!remove} / {!clear_row} go on a free list and are
+    recycled, so a churning graph's footprint tracks its live edge
+    count.  Values are arbitrary ints (negative included), letting
+    callers pack tagged ids — the heap tracer stores local dense ids
+    as [>= 0] and remote interner ids as [-(rid+1)]. *)
+module Csr : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] is a row-count hint; rows and edge storage both grow
+      on demand. *)
+
+  val ensure_row : t -> int -> unit
+  (** Make row [r] addressable (rows are dense external ids, e.g. from
+      an {!Interner}).  Implied by {!add}.
+      @raise Invalid_argument on a negative row. *)
+
+  val add : t -> int -> int -> unit
+  (** Append a value to a row (multiset semantics — duplicates are
+      kept). *)
+
+  val remove : t -> int -> int -> bool
+  (** Remove one occurrence of the value from the row; [false] when
+      absent.  Order within the row is not preserved (the last value
+      is swapped into the hole). *)
+
+  val clear_row : t -> int -> unit
+  (** Empty the row, recycling all its blocks. *)
+
+  val length : t -> int -> int
+  (** Number of values in the row (0 for never-touched rows). *)
+
+  val iter : t -> int -> (int -> unit) -> unit
+  (** All values of the row, blocks in chain order. *)
+
+  val reset : t -> unit
+  (** Empty every row and return all blocks to the allocator (row
+      arrays keep their capacity). *)
+
+  val free_blocks : t -> int
+  (** Blocks currently parked on the free list (recycling telemetry
+      for tests and benches). *)
+
+  val words : t -> int
+  (** Words held by the backing arrays — the live-memory proxy the
+      scale benches record. *)
+end
+
 (** Append-only interner assigning dense ids in [0, size) to keys. *)
 module Interner (H : Hashtbl.HashedType) : sig
   type t

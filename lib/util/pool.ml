@@ -147,6 +147,96 @@ let run t ~n f =
     end
   end
 
+(* Pipelined round: workers prepare chunks claimed from the shared
+   cursor while the caller commits finished chunks in ascending order,
+   helping with preparation whenever the next chunk to commit is not
+   ready yet.  Commits all run on the caller and in order — the
+   canonical-commit-order contract of the engines holds — but commit
+   of chunk c overlaps preparation of chunks > c, so the full barrier
+   of [run] (every prepare done before the first commit) is gone and
+   the round's critical path stops scaling with the participant
+   count. *)
+let run_chunked t ~chunks ~work ~commit =
+  if chunks > 0 then begin
+    if t.domains = [] then
+      for c = 0 to chunks - 1 do
+        work c;
+        commit c
+      done
+    else begin
+      let ready = Array.make chunks false in
+      let wrapped c =
+        work c;
+        Mutex.lock t.m;
+        ready.(c) <- true;
+        Condition.broadcast t.finished;
+        Mutex.unlock t.m
+      in
+      Mutex.lock t.m;
+      t.task <- Some wrapped;
+      t.n <- chunks;
+      t.next <- 0;
+      t.completed <- 0;
+      t.round <- t.round + 1;
+      Condition.broadcast t.start;
+      Mutex.unlock t.m;
+      let committed = ref 0 in
+      while !committed < chunks do
+        Mutex.lock t.m;
+        if ready.(!committed) then begin
+          Mutex.unlock t.m;
+          (try commit !committed
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock t.m;
+             if t.failure = None then t.failure <- Some (e, bt);
+             Mutex.unlock t.m;
+             (* Abandon the remaining commits; workers drain on their
+                own and the failure is re-raised after the round. *)
+             committed := chunks - 1);
+          incr committed
+        end
+        else if t.next < t.n then begin
+          (* Help: prepare an unclaimed chunk ourselves. *)
+          let c = t.next in
+          t.next <- c + 1;
+          Mutex.unlock t.m;
+          (try wrapped c
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock t.m;
+             if t.failure = None then t.failure <- Some (e, bt);
+             Mutex.unlock t.m);
+          Mutex.lock t.m;
+          t.completed <- t.completed + 1;
+          if t.completed >= t.n then Condition.broadcast t.finished;
+          Mutex.unlock t.m
+        end
+        else begin
+          while (not ready.(!committed)) && t.completed < t.n do
+            Condition.wait t.finished t.m
+          done;
+          if (not ready.(!committed)) && t.completed >= t.n then
+            (* The chunk's worker failed before marking it ready; stop
+               committing, the captured failure surfaces below. *)
+            committed := chunks;
+          Mutex.unlock t.m
+        end
+      done;
+      Mutex.lock t.m;
+      while t.completed < t.n do
+        Condition.wait t.finished t.m
+      done;
+      t.task <- None;
+      let failure = t.failure in
+      t.failure <- None;
+      Mutex.unlock t.m;
+      match failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
 let shutdown t =
   Mutex.lock t.m;
   t.stop <- true;

@@ -27,6 +27,22 @@ val run : t -> n:int -> (int -> unit) -> unit
     round still completes and the first exception is re-raised to the
     caller afterwards. *)
 
+val run_chunked : t -> chunks:int -> work:(int -> unit) -> commit:(int -> unit) -> unit
+(** Pipelined round over [chunks] work units.  [work c] runs on any
+    participant (claimed dynamically, like {!run}); [commit c] runs
+    {e only on the calling domain} and in ascending chunk order, as
+    soon as chunk [c]'s work has finished — overlapping the
+    preparation of later chunks instead of waiting for a full
+    barrier.  While the next chunk to commit is not ready, the caller
+    helps prepare unclaimed chunks.  [work] must obey {!run}'s
+    isolation contract, and additionally must not read any state
+    [commit] writes (the engines' prepare/commit contract: prepares
+    touch only their own process, commits touch the committed process
+    plus sinks — network, stats, scheduler — that no prepare reads).
+    If any [work] or [commit] raises, remaining commits are abandoned
+    and the first exception is re-raised once all workers have
+    drained. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains.  The pool must be idle. *)
 

@@ -4,9 +4,9 @@ open Adgc_rt
 type sample = { time : int; objects : int; live : int; garbage : int }
 
 let sample cluster =
-  let live = Oid.Set.cardinal (Cluster.globally_live cluster) in
   let objects = Cluster.total_objects cluster in
-  { time = Cluster.now cluster; objects; live; garbage = objects - live }
+  let garbage = Cluster.garbage_count cluster in
+  { time = Cluster.now cluster; objects; live = objects - garbage; garbage }
 
 let pp_sample ppf s =
   Format.fprintf ppf "t=%d objects=%d live=%d garbage=%d" s.time s.objects s.live s.garbage
@@ -46,11 +46,9 @@ let install_safety_checker cluster =
   rt.Runtime.on_pre_sweep <-
     Some
       (fun proc doomed ->
-        let live = Cluster.globally_live cluster in
         List.iter
-          (fun oid ->
-            if Oid.Set.mem oid live then checker.violations <- (proc, oid) :: checker.violations)
-          doomed);
+          (fun oid -> checker.violations <- (proc, oid) :: checker.violations)
+          (Cluster.live_among cluster doomed));
   checker
 
 let violations t = List.rev t.violations

@@ -157,6 +157,39 @@ let test_partition_stats () =
     "cut traffic was dropped" true
     (Stats.get stats "net.msg.dropped.partition" > 0)
 
+(* Crash-of-group-proxy: with the relay overlay on, kill the lowest
+   rank of a group (its proxy) mid-run.  Flushes from and to that
+   group must fail over to the next alive member (pure arithmetic, no
+   handshake), safety must hold throughout, and once the proxy
+   restarts everything garbage must still be reclaimed. *)
+let test_group_proxy_crash () =
+  let n_procs = 4 in
+  let config = Config.quick ~seed:13 ~n_procs () in
+  (* Groups of 2 over 4 ranks: {0,1} and {2,3}, proxies 0 and 2. *)
+  let config = Config.with_groups config 2 in
+  let sim = Sim.create ~config () in
+  let cluster = Sim.cluster sim in
+  let oracle = Oracle.install ~window:500 cluster in
+  let _garbage = Topology.ring cluster ~procs:[ 0; 1; 2; 3 ] in
+  let live = Topology.rooted_ring cluster ~procs:[ 1; 3 ] in
+  let sched = Cluster.sched cluster in
+  Adgc_rt.Scheduler.schedule_after sched ~delay:fault_start (fun () -> Cluster.crash cluster 0);
+  Adgc_rt.Scheduler.schedule_after sched ~delay:fault_stop (fun () -> Cluster.restart cluster 0);
+  Sim.start sim;
+  Sim.run_for sim (fault_stop + 2_000);
+  Oracle.assert_safe oracle;
+  let stats = Sim.stats sim in
+  Alcotest.(check bool) "relays flowed" true (Stats.get stats "group.relays" > 0);
+  Alcotest.(check bool)
+    "flushes failed over past the dead proxy" true
+    (Stats.get stats "group.proxy_fallbacks" > 0);
+  (match Oracle.check_liveness ~step:2_000 ~max_ticks:900_000 oracle ~run:(Sim.run_for sim) with
+  | Oracle.Converged _ -> ()
+  | Oracle.Stuck _ as l -> Alcotest.failf "liveness after proxy crash: %a" Oracle.pp_liveness l);
+  Oracle.stop oracle;
+  Oracle.assert_safe oracle;
+  check Alcotest.bool "live ring intact" true (live_ring_intact cluster live)
+
 let suite =
   (* Three detector columns: the DCDA under both candidate sources
      (the incremental maintainer must stay exact through every fault
@@ -189,4 +222,6 @@ let suite =
         Alcotest.test_case "duplicate+reorder shows suppression" `Quick
           test_duplicate_reorder_combined;
         Alcotest.test_case "partition cut and heal accounted" `Quick test_partition_stats;
+        Alcotest.test_case "group proxy crash fails over and recovers" `Slow
+          test_group_proxy_crash;
       ] )

@@ -22,6 +22,7 @@ let () =
       Test_faults_matrix.suite;
       Test_sim.suite;
       Test_engine.suite;
+      Test_group.suite;
       Test_replay.suite;
       Test_schema.suite;
       Test_mc.suite;

@@ -44,6 +44,8 @@ let test_exhaustive_export_handshake () =
     ~caps:{ Scenario.snapshots = 0; scans = 0; lgcs = 1; sends = 1; drops = 0 }
     Scenarios.export_handshake
 
+let test_exhaustive_grouped_cycle () = assert_clean Scenarios.grouped_cycle
+
 (* ------------------------------------------------------------------ *)
 (* Conformance trails: exact verdicts for the paper's worked cases. *)
 
@@ -74,6 +76,12 @@ let test_incremental_fingerprint_parity () =
   check Alcotest.string "scan and incremental runs converge to the same state"
     (fp Scenarios.two_proc_cycle)
     (fp Scenarios.two_proc_cycle_incremental)
+
+let test_grouped_reclaim_verdict () =
+  let sys, viols = run_exn Scenarios.grouped_cycle Scenarios.grouped_reclaim_trail in
+  check Alcotest.int "no violations" 0 (List.length viols);
+  check Alcotest.bool "cycle reclaimed through the group relays" true
+    (System.goal_reached sys)
 
 let test_lost_cdm_verdict () =
   let sys, viols =
@@ -201,7 +209,9 @@ let suite =
         test_exhaustive_external_holder;
       Alcotest.test_case "exhaustive: export_handshake clean" `Slow
         test_exhaustive_export_handshake;
+      Alcotest.test_case "exhaustive: grouped_cycle clean" `Slow test_exhaustive_grouped_cycle;
       Alcotest.test_case "verdict: cycle reclaimed" `Quick test_reclaim_verdict;
+      Alcotest.test_case "verdict: grouped cycle reclaimed" `Quick test_grouped_reclaim_verdict;
       Alcotest.test_case "verdict: incremental candidates reclaim" `Quick
         test_incremental_reclaim_verdict;
       Alcotest.test_case "fingerprint parity: scan vs incremental" `Quick
